@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-race bench results quick-results examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-race:
+	go test -race ./...
+
+# One testing.B per evaluation artifact plus micro-benchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (full size, ~15s) into results/.
+results:
+	go run ./cmd/flbench -out results
+
+quick-results:
+	go run ./cmd/flbench -quick -out results
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cdn
+	go run ./examples/warehouse
+	go run ./examples/sensornet
+	go run ./examples/lossy
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,105 @@
+// Command flbench regenerates the evaluation: every table and figure in
+// EXPERIMENTS.md. Each experiment prints an aligned-text table to stdout
+// and, with -out, also writes one CSV per table for plotting.
+//
+// Usage:
+//
+//	flbench [-exp all|E1..E12] [-quick] [-seed N] [-runs N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dfl/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expFlag  = fs.String("exp", "all", "experiment ids (comma separated, E1..E12) or 'all'")
+		quick    = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
+		seed     = fs.Int64("seed", 1, "master seed for instances and protocols")
+		runs     = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")
+		outDir   = fs.String("out", "", "directory for CSV output (optional)")
+		listOnly = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listOnly {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "%-4s %-7s %-45s claim: %s\n", e.ID, e.Kind, e.Name, e.Claim)
+		}
+		return nil
+	}
+
+	var exps []bench.Experiment
+	if *expFlag == "all" {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := bench.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	params := bench.Params{Quick: *quick, Seed: *seed, Runs: *runs}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(stdout, "== %s: %s ==\n   claim: %s\n\n", e.ID, e.Name, e.Claim)
+		tables, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(stdout); err != nil {
+				return err
+			}
+			if *outDir != "" {
+				name := filepath.Join(*outDir, strings.ToLower(t.ID)+".csv")
+				if err := writeCSV(name, t); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "  wrote %s\n", name)
+			}
+		}
+		fmt.Fprintf(stdout, "  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func writeCSV(name string, t bench.Table) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", name, err)
+	}
+	werr := t.CSV(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

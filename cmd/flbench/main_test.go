@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E5", "E9", "E10", "E11"} {
+		if !strings.Contains(out.String(), id+" ") {
+			t.Fatalf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E6", "-quick", "-out", dir}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T4 —") {
+		t.Fatalf("table header missing:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "t4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "workload,") {
+		t.Fatalf("csv header wrong: %q", string(csv[:40]))
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E2, E6", "-quick"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== E2:") || !strings.Contains(out.String(), "== E6:") {
+		t.Fatalf("missing experiments:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E99"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-nope"}, &out, &errBuf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

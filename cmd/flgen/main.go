@@ -1,0 +1,60 @@
+// Command flgen generates facility-location instances in the text instance
+// format on stdout.
+//
+// Usage:
+//
+//	flgen -family uniform -m 50 -nc 200 -seed 1 > instance.ufl
+//	flgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family = fs.String("family", "uniform", "workload family")
+		m      = fs.Int("m", 20, "number of facilities")
+		nc     = fs.Int("nc", 100, "number of clients")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		list   = fs.Bool("list", false, "list families and exit")
+		stats  = fs.Bool("stats", false, "print instance stats to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range gen.FamilyNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	g, err := gen.ByName(*family, *m, *nc)
+	if err != nil {
+		return err
+	}
+	inst, err := g.Generate(*seed)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintln(stderr, fl.ComputeStats(inst))
+	}
+	return fl.Write(stdout, inst)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dfl/internal/fl"
+)
+
+func TestRunGeneratesParsableInstance(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-family", "euclidean", "-m", "4", "-nc", "9", "-seed", "3", "-stats"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fl.Read(&out)
+	if err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+	if inst.M() != 4 || inst.NC() != 9 {
+		t.Fatalf("shape (%d,%d)", inst.M(), inst.NC())
+	}
+	if !strings.Contains(errBuf.String(), "m=4") {
+		t.Fatalf("stats missing from stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uniform", "euclidean", "star"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-family", "bogus"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+	if err := run([]string{"-badflag"}, &out, &errBuf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+	if err := run([]string{"-m", "0"}, &out, &errBuf); err == nil {
+		t.Fatal("zero facilities should fail")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	gen := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-m", "3", "-nc", "5", "-seed", "9"}, &out, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Fatal("same seed produced different output")
+	}
+}

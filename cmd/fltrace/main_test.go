@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testInstance = `ufl 2 3 t
+f 0 10
+f 1 4
+e 0 0 1
+e 0 1 2
+e 0 2 9
+e 1 1 1
+e 1 2 2
+`
+
+func TestRunTrace(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-k", "4", "-seed", "2"}, strings.NewReader(testInstance), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"derived:", "round 0", "OFFER(class=", "GRANT", "CONNECT", "result: cost=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace missing %q:\n%s", want, s)
+		}
+	}
+	// Node naming convention: facilities f<i>, clients c<j>.
+	if !strings.Contains(s, "f0 -> c") && !strings.Contains(s, "f1 -> c") {
+		t.Fatalf("no facility->client lines:\n%s", s)
+	}
+}
+
+func TestRunTraceTruncates(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-k", "16", "-max-lines", "5"}, strings.NewReader(testInstance), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace truncated") {
+		t.Fatal("expected truncation marker")
+	}
+	// Even truncated traces end with the result line.
+	if !strings.Contains(out.String(), "result: cost=") {
+		t.Fatal("missing result line")
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", "/no/such/file"}, strings.NewReader(""), &out, &errBuf); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := run([]string{"-k", "0"}, strings.NewReader(testInstance), &out, &errBuf); err == nil {
+		t.Fatal("invalid K should fail")
+	}
+	if err := run(nil, strings.NewReader("not an instance"), &out, &errBuf); err == nil {
+		t.Fatal("unparsable instance should fail")
+	}
+}

@@ -1,0 +1,113 @@
+package dfl_test
+
+import (
+	"fmt"
+
+	"dfl"
+)
+
+// ExampleSolveDistributed runs the protocol on a deterministic instance at
+// one trade-off point.
+func ExampleSolveDistributed() {
+	inst, err := dfl.NewDenseInstance("demo", []int64{10, 4}, [][]int64{
+		{1, 50}, // client 0: facility 0 at 1, facility 1 at 50
+		{2, 1},  // client 1
+		{9, 2},  // client 2
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, rep, err := dfl.SolveDistributed(inst, dfl.DistConfig{K: 16}, dfl.WithSeed(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("feasible:", dfl.Validate(inst, sol) == nil)
+	fmt.Println("rounds:", rep.Net.Rounds == rep.Derived.TotalRounds)
+	// Output:
+	// feasible: true
+	// rounds: true
+}
+
+// ExampleSolveGreedy shows the sequential baseline on the same data model.
+func ExampleSolveGreedy() {
+	inst, err := dfl.NewDenseInstance("demo", []int64{2, 1}, [][]int64{
+		{1, 1},
+		{1, 9},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := dfl.SolveGreedy(inst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("cost:", sol.Cost(inst))
+	// Output:
+	// cost: 4
+}
+
+// ExampleLowerBound anchors an approximation ratio.
+func ExampleLowerBound() {
+	inst, err := dfl.NewDenseInstance("demo", []int64{10}, [][]int64{{3}, {5}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lb, err := dfl.LowerBound(inst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	opt, err := dfl.SolveExact(inst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("bound below OPT:", lb <= opt.Cost(inst))
+	// Output:
+	// bound below OPT: true
+}
+
+// ExampleSolveDistributedSoftCap demonstrates the soft-capacitated mode.
+func ExampleSolveDistributedSoftCap() {
+	// One facility (cost 6), four clients at cost 1, two clients per copy.
+	inst, err := dfl.NewDenseInstance("demo", []int64{6}, [][]int64{
+		{1}, {1}, {1}, {1},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, _, err := dfl.SolveDistributedSoftCap(inst,
+		dfl.DistConfig{K: 9, SoftCapacity: 2}, dfl.WithSeed(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("copies:", sol.Copies[0])
+	fmt.Println("cost:", sol.Cost(inst))
+	// Output:
+	// copies: 2
+	// cost: 16
+}
+
+// ExampleGeneratorByName builds workloads from the named families.
+func ExampleGeneratorByName() {
+	g, err := dfl.GeneratorByName("euclidean", 5, 20)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	inst, err := g.Generate(7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("facilities:", inst.M(), "clients:", inst.NC())
+	// Output:
+	// facilities: 5 clients: 20
+}

@@ -1,0 +1,131 @@
+// CDN replica placement: choose which points of presence (PoPs) should
+// host a content replica. PoPs are facilities whose opening cost models
+// server + storage provisioning; client networks connect at a cost
+// proportional to measured latency. The candidate graph is sparse — a
+// client network only considers PoPs within its latency horizon — which is
+// exactly the bipartite CONGEST setting of the paper: each client network
+// negotiates with its candidate PoPs by message passing, no global view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"dfl"
+)
+
+const (
+	numPoPs     = 40
+	numNetworks = 300
+	// latencyHorizonMs: a network only considers PoPs within this RTT.
+	latencyHorizonMs = 60.0
+	// replicaCost: provisioning a replica, expressed in the same unit as
+	// aggregated latency cost (ms summed over the traffic unit).
+	replicaCost = 2500
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	inst, err := buildTopology(42)
+	if err != nil {
+		return err
+	}
+	fmt.Println("CDN instance:", dfl.Stats(inst))
+
+	lb, err := dfl.LowerBound(inst)
+	if err != nil {
+		return err
+	}
+
+	// Few rounds (K=16): what an online control plane would run.
+	fast, fastRep, err := dfl.SolveDistributed(inst, dfl.DistConfig{K: 16}, dfl.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	// Many rounds (K=144): a nightly re-optimization pass.
+	slow, slowRep, err := dfl.SolveDistributed(inst, dfl.DistConfig{K: 144}, dfl.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	// Centralized reference.
+	greedy, err := dfl.SolveGreedy(inst)
+	if err != nil {
+		return err
+	}
+
+	show := func(name string, sol *dfl.Solution, rounds int) {
+		cost := sol.Cost(inst)
+		fmt.Printf("%-22s replicas=%-3d total-cost=%-8d ratio-vs-LP=%.3f",
+			name, sol.OpenCount(), cost, float64(cost)/float64(lb))
+		if rounds > 0 {
+			fmt.Printf("  rounds=%d", rounds)
+		}
+		fmt.Println()
+	}
+	show("control plane (K=16)", fast, fastRep.Net.Rounds)
+	show("nightly pass (K=144)", slow, slowRep.Net.Rounds)
+	show("centralized greedy", greedy, 0)
+
+	// Per-replica load report for the fast solution.
+	load := make([]int, numPoPs)
+	for _, pop := range fast.Assign {
+		load[pop]++
+	}
+	fmt.Println("\nreplica placement (K=16):")
+	for pop, n := range load {
+		if fast.Open[pop] {
+			fmt.Printf("  PoP %2d serves %3d networks\n", pop, n)
+		}
+	}
+	return nil
+}
+
+// buildTopology lays PoPs and client networks on a latency plane (geographic
+// distance as a proxy, plus jitter) and keeps only edges under the horizon.
+func buildTopology(seed int64) (*dfl.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	pops := make([]pt, numPoPs)
+	for i := range pops {
+		pops[i] = pt{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	nets := make([]pt, numNetworks)
+	for j := range nets {
+		nets[j] = pt{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	latency := func(a, b pt) float64 {
+		d := math.Hypot(a.x-b.x, a.y-b.y)
+		return 2 + d/2 + rng.Float64()*4 // base + propagation + jitter
+	}
+	facCost := make([]int64, numPoPs)
+	for i := range facCost {
+		facCost[i] = replicaCost + rng.Int63n(replicaCost/2)
+	}
+	var edges []dfl.RawEdge
+	for j := 0; j < numNetworks; j++ {
+		bestPoP, bestLat := -1, math.Inf(1)
+		var local []dfl.RawEdge
+		for i := 0; i < numPoPs; i++ {
+			l := latency(pops[i], nets[j])
+			if l < bestLat {
+				bestPoP, bestLat = i, l
+			}
+			if l <= latencyHorizonMs {
+				local = append(local, dfl.RawEdge{Facility: i, Client: j, Cost: int64(math.Round(l * 10))})
+			}
+		}
+		if len(local) == 0 {
+			// Always keep the nearest PoP so the network stays servable.
+			local = append(local, dfl.RawEdge{Facility: bestPoP, Client: j, Cost: int64(math.Round(bestLat * 10))})
+		}
+		edges = append(edges, local...)
+	}
+	return dfl.NewInstance("cdn", facCost, numNetworks, edges)
+}

@@ -1,0 +1,160 @@
+// Sensor-network cluster-head election: battery-powered sensors must elect
+// a subset of themselves as cluster heads (aggregation points). Serving as
+// a head costs energy (the opening cost, lower for nodes with more battery)
+// and each ordinary sensor pays transmission energy proportional to the
+// square of its distance to its head. Radio range bounds the candidate
+// edges, so the instance is sparse and genuinely distributed — the exact
+// setting where a constant-round CONGEST algorithm matters, because sensors
+// cannot afford many communication rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"dfl"
+)
+
+const (
+	numSensors = 400
+	fieldSize  = 100.0
+	radioRange = 18.0
+	// headCostBase scales the energy cost of serving as a cluster head.
+	headCostBase = 4000
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	inst, positions, battery, err := buildField(7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sensor field:", dfl.Stats(inst))
+
+	// Every sensor is both a candidate head (facility) and a client; the
+	// paper's bipartite model handles this by giving each sensor two roles.
+	sol, rep, err := dfl.SolveDistributed(inst, dfl.DistConfig{K: 16}, dfl.WithSeed(2))
+	if err != nil {
+		return err
+	}
+	lb, err := dfl.LowerBound(inst)
+	if err != nil {
+		return err
+	}
+	cost := sol.Cost(inst)
+	fmt.Printf("elected %d cluster heads; energy cost %d (%.3fx LP bound) in %d radio rounds, %d messages\n",
+		sol.OpenCount(), cost, float64(cost)/float64(lb), rep.Net.Rounds, rep.Net.Messages)
+
+	// Cluster statistics.
+	size := make(map[int]int)
+	var maxDist float64
+	for j, head := range sol.Assign {
+		size[head]++
+		d := dist(positions[j], positions[head])
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	var largest int
+	for _, n := range size {
+		if n > largest {
+			largest = n
+		}
+	}
+	fmt.Printf("largest cluster %d sensors; max sensor->head distance %.1f (range %.1f)\n",
+		largest, maxDist, radioRange)
+
+	// Heads should be battery-rich: compare average battery of heads vs all.
+	var headBat, allBat float64
+	heads := 0
+	for i, open := range sol.Open {
+		allBat += battery[i]
+		if open {
+			headBat += battery[i]
+			heads++
+		}
+	}
+	fmt.Printf("avg battery: heads %.2f vs fleet %.2f (heads should skew high)\n",
+		headBat/float64(heads), allBat/numSensors)
+
+	// Radio slots are finite: a head can aggregate at most `slots` sensors
+	// per TDMA frame. The soft-capacitated mode opens extra "frames"
+	// (copies) where demand exceeds the slot budget.
+	const slots = 12
+	capSol, capRep, err := dfl.SolveDistributedSoftCap(inst,
+		dfl.DistConfig{K: 16, SoftCapacity: slots}, dfl.WithSeed(2))
+	if err != nil {
+		return err
+	}
+	if err := dfl.ValidateCap(inst, slots, capSol); err != nil {
+		return err
+	}
+	frames := 0
+	headCount := 0
+	for _, c := range capSol.Copies {
+		frames += c
+		if c > 0 {
+			headCount++
+		}
+	}
+	fmt.Printf("\nwith %d radio slots per frame: %d heads running %d frames total, energy cost %d, %d rounds\n",
+		slots, headCount, frames, capSol.Cost(inst), capRep.Net.Rounds)
+	capLoad := capSol.Load(inst)
+	for i, l := range capLoad {
+		if l > slots*capSol.Copies[i] {
+			return fmt.Errorf("head %d over budget: %d sensors on %d frames", i, l, capSol.Copies[i])
+		}
+	}
+	fmt.Println("every head within its slot budget")
+	return nil
+}
+
+type pt struct{ x, y float64 }
+
+func dist(a, b pt) float64 { return math.Hypot(a.x-b.x, a.y-b.y) }
+
+// buildField places sensors uniformly, assigns battery levels, and builds
+// the facility-location instance: facility i and client i are the same
+// physical sensor; an edge exists when two sensors are within radio range
+// (a sensor can always elect itself at zero transmission cost).
+func buildField(seed int64) (*dfl.Instance, []pt, []float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	positions := make([]pt, numSensors)
+	for i := range positions {
+		positions[i] = pt{rng.Float64() * fieldSize, rng.Float64() * fieldSize}
+	}
+	battery := make([]float64, numSensors)
+	facCost := make([]int64, numSensors)
+	for i := range battery {
+		battery[i] = 0.2 + 0.8*rng.Float64() // 20%..100%
+		// Serving as head is cheaper for battery-rich sensors.
+		facCost[i] = int64(headCostBase / battery[i])
+	}
+	var edges []dfl.RawEdge
+	for j := 0; j < numSensors; j++ {
+		// Self edge: a sensor can be its own head for free transmission.
+		edges = append(edges, dfl.RawEdge{Facility: j, Client: j, Cost: 1})
+		for i := 0; i < numSensors; i++ {
+			if i == j {
+				continue
+			}
+			d := dist(positions[i], positions[j])
+			if d <= radioRange {
+				// Transmission energy ~ d^2.
+				edges = append(edges, dfl.RawEdge{Facility: i, Client: j, Cost: int64(d*d) + 1})
+			}
+		}
+	}
+	inst, err := dfl.NewInstance("sensornet", facCost, numSensors, edges)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return inst, positions, battery, nil
+}

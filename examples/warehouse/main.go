@@ -1,0 +1,100 @@
+// Warehouse siting: a logistics operator picks which candidate warehouse
+// sites to lease so that total lease cost plus trucking cost to stores is
+// minimized. This is the classic Euclidean (metric) facility-location
+// story, so the metric baselines (Jain-Vazirani, JMS, local search) apply
+// and the example compares all of them, plus the exact optimum on the
+// small scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Small scenario first: exact optimum is computable, so we can report
+	// true approximation ratios, not just LP ratios.
+	small, err := dfl.Clustered{M: 12, NC: 40, Clusters: 3}.Generate(11)
+	if err != nil {
+		return err
+	}
+	fmt.Println("scenario A (12 candidate sites, 40 stores):", dfl.Stats(small))
+	opt, err := dfl.SolveExact(small)
+	if err != nil {
+		return err
+	}
+	optCost := opt.Cost(small)
+	fmt.Printf("  exact optimum: cost=%d, %d warehouses\n", optCost, opt.OpenCount())
+
+	report := func(name string, sol *dfl.Solution) {
+		cost := sol.Cost(small)
+		fmt.Printf("  %-14s cost=%-7d true-ratio=%.3f warehouses=%d\n",
+			name, cost, float64(cost)/float64(optCost), sol.OpenCount())
+	}
+	if sol, _, err := dfl.SolveDistributed(small, dfl.DistConfig{K: 25}, dfl.WithSeed(3)); err == nil {
+		report("distributed", sol)
+	} else {
+		return err
+	}
+	if sol, err := dfl.SolveGreedy(small); err == nil {
+		report("greedy", sol)
+	} else {
+		return err
+	}
+	if sol, err := dfl.SolveJainVazirani(small); err == nil {
+		report("jain-vazirani", sol)
+	} else {
+		return err
+	}
+	if sol, err := dfl.SolveJMS(small); err == nil {
+		report("jms", sol)
+	} else {
+		return err
+	}
+	if sol, err := dfl.SolveLocalSearch(small, nil, dfl.LocalSearchConfig{}); err == nil {
+		report("local search", sol)
+	} else {
+		return err
+	}
+
+	// Regional scenario: too large for exact search; ratios vs the LP bound.
+	big, err := dfl.Clustered{M: 60, NC: 500, Clusters: 8}.Generate(12)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nscenario B (60 candidate sites, 500 stores):", dfl.Stats(big))
+	lb, err := dfl.LowerBound(big)
+	if err != nil {
+		return err
+	}
+	sol, rep, err := dfl.SolveDistributed(big, dfl.DistConfig{K: 64}, dfl.WithSeed(3))
+	if err != nil {
+		return err
+	}
+	greedy, err := dfl.SolveGreedy(big)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  distributed K=64: cost=%d ratio-vs-LP=%.3f warehouses=%d rounds=%d\n",
+		sol.Cost(big), float64(sol.Cost(big))/float64(lb), sol.OpenCount(), rep.Net.Rounds)
+	fmt.Printf("  greedy:           cost=%d ratio-vs-LP=%.3f warehouses=%d\n",
+		greedy.Cost(big), float64(greedy.Cost(big))/float64(lb), greedy.OpenCount())
+
+	// Polish the distributed answer with centralized local search — the
+	// hybrid a real operator would deploy.
+	polished, err := dfl.SolveLocalSearch(big, sol, dfl.LocalSearchConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  distributed+polish: cost=%d ratio-vs-LP=%.3f warehouses=%d\n",
+		polished.Cost(big), float64(polished.Cost(big))/float64(lb), polished.OpenCount())
+	return nil
+}

@@ -1,0 +1,3 @@
+module dfl
+
+go 1.22

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fmtSscan parses a float cell.
+func fmtSscan(s string, out *float64) (int, error) { return fmt.Sscan(s, out) }
+
+func TestTableAddAndRender(t *testing.T) {
+	tbl := Table{ID: "T0", Title: "demo", Note: "a note", Columns: []string{"a", "bb"}}
+	tbl.Add("1", "2")
+	tbl.Add("333", "4")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T0 — demo", "a note", "333  4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on cell count mismatch")
+		}
+	}()
+	tbl := Table{ID: "T0", Columns: []string{"a"}}
+	tbl.Add("1", "2")
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{ID: "T0", Columns: []string{"x", "y"}}
+	tbl.Add("1", `has"quote`)
+	tbl.Add("2", "has,comma")
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"has\"\"quote\"\n2,\"has,comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	e, err := ExperimentByID("E1")
+	if err != nil || e.ID != "E1" {
+		t.Fatalf("ExperimentByID(E1) = %+v, %v", e, err)
+	}
+	if _, err := ExperimentByID("E99"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestExperimentsHaveDistinctIDsAndClaims(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Claim == "" || e.Name == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+		if e.Kind != "table" && e.Kind != "figure" {
+			t.Fatalf("experiment %s has kind %q", e.ID, e.Kind)
+		}
+	}
+}
+
+// TestAllExperimentsQuick executes the entire suite in quick mode — the
+// end-to-end test that every table and figure can actually be regenerated.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Params{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("table %s is empty", tbl.ID)
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := tbl.CSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestExactAuditAllPass asserts the theorem-shaped invariant end to end:
+// no FAIL verdict in the exact-ratio audit.
+func TestExactAuditAllPass(t *testing.T) {
+	tables, err := ExactAudit(Params{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			if row[len(row)-1] != "PASS" {
+				t.Fatalf("audit row failed: %v", row)
+			}
+		}
+	}
+}
+
+// TestConvergenceReachesEveryone asserts every K-series of Figure 3 ends
+// at 100% connected, and that the cumulative series is non-decreasing.
+func TestConvergenceReachesEveryone(t *testing.T) {
+	tables, err := ConvergenceFigure(Params{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	var lastK string
+	prev := -1.0
+	for _, row := range rows {
+		if row[0] != lastK {
+			lastK, prev = row[0], -1
+		}
+		var pct float64
+		if _, err := fmtSscan(row[4], &pct); err != nil {
+			t.Fatal(err)
+		}
+		if pct < prev {
+			t.Fatalf("connected%% decreased within K=%s: %v", row[0], row)
+		}
+		prev = pct
+	}
+	// The final row of each K must be 100%.
+	for i, row := range rows {
+		if i+1 == len(rows) || rows[i+1][0] != row[0] {
+			if row[4] != "100.0" {
+				t.Fatalf("K=%s ends at %s%%, want 100", row[0], row[4])
+			}
+		}
+	}
+}
+
+// TestFaultSensitivityAnchors checks T7's limiting rows: 0%% loss matches
+// the fault-free run and 100%% loss reports a fully-cleanup run.
+func TestFaultSensitivityAnchors(t *testing.T) {
+	tables, err := FaultSensitivity(Params{Quick: true, Seed: 3, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first, last := rows[0], rows[len(rows)-1]
+	if first[0] != "0%" || first[3] != "0" {
+		t.Fatalf("first row should be lossless: %v", first)
+	}
+	if last[0] != "100%" || last[2] != "100.0" {
+		t.Fatalf("last row should be all-cleanup: %v", last)
+	}
+}
+
+// TestTradeoffDirection checks on the quick table that the best measured
+// ratio across the K sweep is achieved at K > 1 or ties K=1 — i.e. spending
+// rounds does not hurt.
+func TestTradeoffDirection(t *testing.T) {
+	tables, err := TradeoffK(Params{Quick: true, Seed: 7, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first := rows[0]
+	last := rows[len(rows)-1]
+	var firstRatio, lastRatio float64
+	if _, err := fmtSscan(first[6], &firstRatio); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(last[6], &lastRatio); err != nil {
+		t.Fatal(err)
+	}
+	if lastRatio > firstRatio*1.3 {
+		t.Fatalf("ratio degraded with K: %.3f (K=1) -> %.3f (K max)", firstRatio, lastRatio)
+	}
+}

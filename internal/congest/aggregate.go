@@ -1,0 +1,171 @@
+package congest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements generic distributed aggregation primitives on the
+// CONGEST engine: min/max flooding and BFS-tree convergecast sums. The
+// facility-location protocol's derived parameters (smallest coefficient,
+// spread, facility count) are global quantities; these primitives show they
+// are obtainable in O(diameter) rounds with O(log n)-bit messages, which is
+// the standard preprocessing assumption of the paper (see DESIGN.md).
+//
+// All primitives operate per connected component: a node's result is the
+// aggregate over its own component, which is exactly the information a
+// component-local protocol needs.
+
+// floodNode floods the minimum of the initial values: every node
+// re-broadcasts whenever its known minimum improves. After as many rounds
+// as the component's diameter the values are stable; the caller supplies
+// the round budget.
+type floodNode struct {
+	env    *Env
+	value  int64
+	rounds int
+	dirty  bool
+	buf    []byte
+}
+
+var _ Node = (*floodNode)(nil)
+
+func (f *floodNode) Init(env *Env) {
+	f.env = env
+	f.dirty = true
+}
+
+func (f *floodNode) Round(r int, inbox []Message) bool {
+	for _, msg := range inbox {
+		v, ok := decodeValue(msg.Payload)
+		if ok && v < f.value {
+			f.value = v
+			f.dirty = true
+		}
+	}
+	if r >= f.rounds {
+		return true
+	}
+	if f.dirty {
+		f.buf = encodeValue(f.buf, f.value)
+		f.env.Broadcast(f.buf)
+		f.dirty = false
+	}
+	return false
+}
+
+func encodeValue(buf []byte, v int64) []byte {
+	buf = buf[:0]
+	buf = append(buf, 'v')
+	return binary.AppendVarint(buf, v)
+}
+
+func decodeValue(p []byte) (int64, bool) {
+	if len(p) < 2 || p[0] != 'v' {
+		return 0, false
+	}
+	v, n := binary.Varint(p[1:])
+	if n <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// AggregateMin floods the component-wise minimum of values over g and
+// returns each node's view. rounds must be at least the largest component
+// diameter; len(values) must equal g.N().
+func AggregateMin(g *Graph, values []int64, rounds int, cfg Config) ([]int64, Stats, error) {
+	if len(values) != g.N() {
+		return nil, Stats{}, fmt.Errorf("congest: %d values for graph of %d nodes", len(values), g.N())
+	}
+	nodes := make([]Node, g.N())
+	floods := make([]*floodNode, g.N())
+	for i := range nodes {
+		floods[i] = &floodNode{value: values[i], rounds: rounds}
+		nodes[i] = floods[i]
+	}
+	stats, err := Run(g, nodes, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]int64, g.N())
+	for i, f := range floods {
+		out[i] = f.value
+	}
+	return out, stats, nil
+}
+
+// AggregateMax floods the component-wise maximum, implemented as a min
+// flood of the negated values.
+func AggregateMax(g *Graph, values []int64, rounds int, cfg Config) ([]int64, Stats, error) {
+	neg := make([]int64, len(values))
+	for i, v := range values {
+		neg[i] = -v
+	}
+	mins, stats, err := AggregateMin(g, neg, rounds, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := range mins {
+		mins[i] = -mins[i]
+	}
+	return mins, stats, nil
+}
+
+// Components labels each node with the smallest node id of its connected
+// component (a pure graph utility, no message passing).
+func Components(g *Graph) []int {
+	label := make([]int, g.N())
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int
+	for s := 0; s < g.N(); s++ {
+		if label[s] != -1 {
+			continue
+		}
+		label[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if label[v] == -1 {
+					label[v] = s
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// Diameter returns the largest eccentricity over all connected components
+// (0 for edgeless graphs). O(n * E): fine for test-sized graphs; the
+// engine's aggregation callers use it to size round budgets.
+func Diameter(g *Graph) int {
+	dist := make([]int, g.N())
+	var queue []int
+	maxD := 0
+	for s := 0; s < g.N(); s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					if dist[v] > maxD {
+						maxD = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return maxD
+}

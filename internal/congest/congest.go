@@ -1,0 +1,186 @@
+// Package congest simulates the CONGEST model of distributed computing:
+// a synchronous message-passing network in which every node may send one
+// bounded-size message per neighbour per round.
+//
+// The engine runs an arbitrary set of Node state machines on an undirected
+// communication graph. Two runners are provided — a deterministic
+// sequential one and a goroutine-per-worker parallel one — and both produce
+// byte-identical executions for the same configuration, which the test
+// suite verifies. Message and bit counts, per-message size limits, and halt
+// detection are built in.
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected communication topology over nodes 0..N()-1.
+// The zero value is an empty graph; use NewGraph.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns a graph with n isolated nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge connects u and v. Self-loops and duplicate edges are rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("congest: edge (%d,%d) out of range [0,%d)", u, v, g.N())
+	}
+	if u == v {
+		return fmt.Errorf("congest: self-loop at %d", u)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("congest: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// Neighbors returns the neighbour list of u. Shared storage: callers must
+// not modify the returned slice.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of neighbours of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.N() {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Bipartite builds the communication graph of a facility-location instance:
+// facilities occupy node ids 0..m-1 and clients m..m+nc-1; each (facility i,
+// client j) pair in edges becomes a communication edge.
+func Bipartite(m, nc int, edges func(yield func(facility, client int) bool)) (*Graph, error) {
+	g := NewGraph(m + nc)
+	var err error
+	edges(func(i, j int) bool {
+		if e := g.AddEdge(i, m+j); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Message is one payload in flight. From and To are node ids; the payload
+// size (in bits) is charged against the model's message-size budget.
+type Message struct {
+	From    int
+	To      int
+	Payload []byte
+}
+
+// Bits returns the payload size in bits.
+func (m Message) Bits() int { return len(m.Payload) * 8 }
+
+// Node is one distributed state machine. Init is called exactly once before
+// round 0 with the node's private environment. Round is called once per
+// round with the messages sent to this node in the previous round, sorted
+// by ascending sender id; it returns true when the node halts. A halted
+// node receives no further Round calls; messages addressed to it are
+// delivered to nobody but still counted.
+type Node interface {
+	Init(env *Env)
+	Round(round int, inbox []Message) (halt bool)
+}
+
+// Env is a node's private handle to the network: its identity, neighbour
+// list, deterministic private randomness, and staged outgoing messages.
+type Env struct {
+	id        int
+	graph     *Graph
+	rng       *rand.Rand
+	out       []Message
+	bitLimit  int
+	sendErr   error
+	sentTo    map[int]bool
+	roundSent int
+}
+
+// ID returns the node's id.
+func (e *Env) ID() int { return e.id }
+
+// Neighbors returns the node's neighbour list (shared storage, do not
+// modify).
+func (e *Env) Neighbors() []int { return e.graph.Neighbors(e.id) }
+
+// Degree returns the node's degree.
+func (e *Env) Degree() int { return e.graph.Degree(e.id) }
+
+// Rand returns the node's private deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Send stages one message to neighbour 'to' for delivery next round. It
+// enforces the CONGEST constraints: the recipient must be a neighbour, at
+// most one message per neighbour per round, and the payload must respect
+// the engine's bit limit. The first violation is recorded and aborts the
+// run; subsequent sends become no-ops.
+func (e *Env) Send(to int, payload []byte) {
+	if e.sendErr != nil {
+		return
+	}
+	if !e.graph.HasEdge(e.id, to) {
+		e.sendErr = fmt.Errorf("congest: node %d sent to non-neighbour %d", e.id, to)
+		return
+	}
+	if e.bitLimit > 0 && len(payload)*8 > e.bitLimit {
+		e.sendErr = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d", e.id, len(payload)*8, e.bitLimit)
+		return
+	}
+	if e.sentTo[to] {
+		e.sendErr = fmt.Errorf("congest: node %d sent twice to %d in one round", e.id, to)
+		return
+	}
+	e.sentTo[to] = true
+	// Copy the payload so node-local buffers can be reused by the caller.
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	e.out = append(e.out, Message{From: e.id, To: to, Payload: p})
+}
+
+// Broadcast stages the same payload to every neighbour.
+func (e *Env) Broadcast(payload []byte) {
+	for _, v := range e.Neighbors() {
+		e.Send(v, payload)
+	}
+}
+
+func (e *Env) beginRound() {
+	e.out = e.out[:0]
+	for k := range e.sentTo {
+		delete(e.sentTo, k)
+	}
+}

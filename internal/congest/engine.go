@@ -1,0 +1,228 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config controls one engine run.
+type Config struct {
+	// BitLimit is the maximum payload size per message in bits; 0 means
+	// unlimited (the LOCAL model).
+	BitLimit int
+	// Seed derives every node's private random stream; the same seed yields
+	// a byte-identical execution in both runners.
+	Seed int64
+	// MaxRounds aborts runaway protocols. 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Parallel selects the goroutine-per-worker runner.
+	Parallel bool
+	// Workers bounds parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Observer, when non-nil, is invoked after every round with the round
+	// number and the messages delivered in that round (sequential runner
+	// order). Used by the tracing tool; nil in production runs.
+	Observer func(round int, delivered []Message)
+	// Faults injects message drops and node crashes; the zero value is a
+	// fault-free run.
+	Faults Faults
+}
+
+// DefaultMaxRounds is the round budget when Config.MaxRounds is zero.
+const DefaultMaxRounds = 1 << 20
+
+// ErrRoundLimit is returned when a protocol does not halt within the round
+// budget.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// Stats reports what one run cost in the model's own currency.
+type Stats struct {
+	Rounds         int   // rounds executed until global halt
+	Messages       int64 // total messages sent
+	Bits           int64 // total payload bits sent
+	MaxMessageBits int   // largest single payload observed
+	Dropped        int64 // messages lost to injected faults
+	Crashed        int   // nodes halted by injected crashes
+}
+
+// Run executes nodes on g until every node has halted, returning model-level
+// statistics. len(nodes) must equal g.N(). Nodes are the caller's own
+// values; after Run returns the caller reads results directly out of them.
+func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
+	if len(nodes) != g.N() {
+		return Stats{}, fmt.Errorf("congest: %d nodes for graph of %d vertices", len(nodes), g.N())
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	envs := make([]*Env, len(nodes))
+	for id := range nodes {
+		envs[id] = &Env{
+			id:       id,
+			graph:    g,
+			rng:      rand.New(rand.NewSource(nodeSeed(cfg.Seed, id))),
+			bitLimit: cfg.BitLimit,
+			sentTo:   make(map[int]bool),
+		}
+		nodes[id].Init(envs[id])
+	}
+
+	halted := make([]bool, len(nodes))
+	inboxes := make([][]Message, len(nodes))
+	var stats Stats
+
+	// Fault randomness lives on its own stream so that a Faults{} run is
+	// byte-identical to a fault-free run with the same seed.
+	var faultRng *rand.Rand
+	if cfg.Faults.active() {
+		faultRng = rand.New(rand.NewSource(nodeSeed(cfg.Seed, 1<<30)))
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
+		}
+		for id, at := range cfg.Faults.CrashAtRound {
+			if at == round && id >= 0 && id < len(nodes) && !halted[id] {
+				halted[id] = true
+				stats.Crashed++
+			}
+		}
+		allHalted := true
+		for id := range nodes {
+			if !halted[id] {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			stats.Rounds = round
+			return stats, nil
+		}
+
+		if cfg.Parallel && workers > 1 {
+			runRoundParallel(nodes, envs, halted, inboxes, round, workers)
+		} else {
+			for id, n := range nodes {
+				if halted[id] {
+					continue
+				}
+				envs[id].beginRound()
+				halted[id] = n.Round(round, inboxes[id])
+			}
+		}
+
+		// Deterministic merge: gather staged messages in node-id order,
+		// account for them, and build next-round inboxes.
+		var delivered []Message
+		for id := range nodes {
+			env := envs[id]
+			if env.sendErr != nil {
+				return stats, env.sendErr
+			}
+			for _, msg := range env.out {
+				stats.Messages++
+				stats.Bits += int64(msg.Bits())
+				if msg.Bits() > stats.MaxMessageBits {
+					stats.MaxMessageBits = msg.Bits()
+				}
+				if faultRng != nil && cfg.Faults.shouldDrop(faultRng, round) {
+					stats.Dropped++
+					continue
+				}
+				delivered = append(delivered, msg)
+			}
+			// A node that halts this round may have sent final messages;
+			// drain them so they are not re-counted on later rounds.
+			env.out = env.out[:0]
+		}
+		for id := range inboxes {
+			inboxes[id] = inboxes[id][:0]
+		}
+		for _, msg := range delivered {
+			if !halted[msg.To] {
+				inboxes[msg.To] = append(inboxes[msg.To], msg)
+			}
+		}
+		for id := range inboxes {
+			sortByFrom(inboxes[id])
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(round, delivered)
+		}
+	}
+}
+
+// runRoundParallel executes one round with a bounded worker pool. Each
+// worker owns a contiguous stripe of node ids; all workers are joined before
+// the deterministic merge, so the execution is indistinguishable from the
+// sequential runner.
+func runRoundParallel(nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, round, workers int) {
+	n := len(nodes)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				if halted[id] {
+					continue
+				}
+				envs[id].beginRound()
+				halted[id] = nodes[id].Round(round, inboxes[id])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func sortByFrom(msgs []Message) {
+	sort.Slice(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+}
+
+// nodeSeed mixes the run seed with the node id (splitmix64 finalizer) so
+// node streams are independent yet reproducible.
+func nodeSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// SuggestedBitLimit returns a CONGEST-style message budget for an n-node
+// network: a small constant multiple of log2(n), rounded up to whole bytes.
+func SuggestedBitLimit(n int) int {
+	bits := 1
+	for 1<<bits < n {
+		bits++
+	}
+	b := 4 * bits // c * log n with c = 4
+	if b < 64 {
+		b = 64
+	}
+	return ((b + 7) / 8) * 8
+}

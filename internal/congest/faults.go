@@ -1,0 +1,36 @@
+package congest
+
+import "math/rand"
+
+// Faults injects failures into a run. The zero value injects nothing.
+// Fault randomness is drawn from its own stream (derived from Config.Seed),
+// so a faulty run with DropProb=0 is byte-identical to a fault-free run.
+type Faults struct {
+	// DropProb drops each delivered message independently with this
+	// probability. Drops are counted in Stats but never delivered.
+	DropProb float64
+	// DropUntilRound limits drops to rounds strictly before this round;
+	// 0 means drops apply to every round. Protocols with a final
+	// commitment step (like the facility-location cleanup) use this to
+	// model a lossy steady state with a reliable termination barrier.
+	DropUntilRound int
+	// CrashAtRound permanently halts node id at the start of the given
+	// round: it stops executing and stops receiving. Messages it sent in
+	// earlier rounds still deliver.
+	CrashAtRound map[int]int
+}
+
+func (f Faults) active() bool {
+	return f.DropProb > 0 || len(f.CrashAtRound) > 0
+}
+
+// shouldDrop decides one message's fate.
+func (f Faults) shouldDrop(rng *rand.Rand, round int) bool {
+	if f.DropProb <= 0 {
+		return false
+	}
+	if f.DropUntilRound > 0 && round >= f.DropUntilRound {
+		return false
+	}
+	return rng.Float64() < f.DropProb
+}

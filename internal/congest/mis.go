@@ -1,0 +1,179 @@
+package congest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Luby's randomized maximal-independent-set algorithm, the canonical
+// symmetry-breaking primitive of the CONGEST literature (and the engine's
+// reference workload for randomized protocols). Each round every live
+// vertex draws a random priority and joins the MIS if it beats all live
+// neighbours; winners and their neighbours retire. Expected O(log n)
+// rounds; the round budget guards the tail.
+//
+// The facility-location protocol uses the same draw-and-compare idea for
+// its offer priorities; MaximalIndependentSet packages it standalone so
+// other protocols built on this engine can reuse it.
+
+// MaximalIndependentSet runs Luby's algorithm on g and returns the
+// membership vector. maxRounds bounds the run (0 means 40*ceil(log2 n)+40,
+// far beyond the expected need); exceeding it returns an error.
+func MaximalIndependentSet(g *Graph, cfg Config, maxRounds int) ([]bool, Stats, error) {
+	n := g.N()
+	if maxRounds <= 0 {
+		logN := 1
+		for 1<<logN < n+2 {
+			logN++
+		}
+		maxRounds = 40*logN + 40
+	}
+	nodes := make([]Node, n)
+	lubys := make([]*lubyNode, n)
+	for i := range nodes {
+		lubys[i] = &lubyNode{}
+		nodes[i] = lubys[i]
+	}
+	runCfg := cfg
+	if runCfg.MaxRounds == 0 || runCfg.MaxRounds > 3*maxRounds+3 {
+		runCfg.MaxRounds = 3*maxRounds + 3
+	}
+	stats, err := Run(g, nodes, runCfg)
+	if err != nil {
+		return nil, stats, fmt.Errorf("congest: luby mis: %w", err)
+	}
+	out := make([]bool, n)
+	for i, l := range lubys {
+		if !l.decided {
+			return nil, stats, errors.New("congest: luby mis did not decide every vertex")
+		}
+		out[i] = l.inMIS
+	}
+	return out, stats, nil
+}
+
+// Luby wire kinds.
+const (
+	lubyDraw   = 'p' // my priority this round
+	lubyWinner = 'w' // I joined the MIS; retire
+	lubyRetire = 'r' // I retired (a neighbour won); forget me
+)
+
+// lubyNode runs one vertex. Each iteration is three engine rounds:
+// draw+send priorities; compare and announce winners; retire neighbours.
+type lubyNode struct {
+	env     *Env
+	decided bool
+	inMIS   bool
+	live    map[int]bool // live neighbours
+	myDraw  uint64
+	draws   map[int]uint64
+	buf     []byte
+}
+
+var _ Node = (*lubyNode)(nil)
+
+func (l *lubyNode) Init(env *Env) {
+	l.env = env
+	l.live = make(map[int]bool, env.Degree())
+	for _, v := range env.Neighbors() {
+		l.live[v] = true
+	}
+	l.draws = make(map[int]uint64, env.Degree())
+}
+
+func (l *lubyNode) Round(r int, inbox []Message) bool {
+	// Ingest.
+	for _, msg := range inbox {
+		if len(msg.Payload) < 1 {
+			continue
+		}
+		switch msg.Payload[0] {
+		case lubyDraw:
+			if v, n := binary.Uvarint(msg.Payload[1:]); n > 0 {
+				l.draws[msg.From] = v
+			}
+		case lubyWinner:
+			// A neighbour joined the MIS: I retire as a non-member.
+			if !l.decided {
+				l.decided = true
+				l.inMIS = false
+			}
+			delete(l.live, msg.From)
+		case lubyRetire:
+			delete(l.live, msg.From)
+		}
+	}
+
+	switch r % 3 {
+	case 0: // draw
+		if l.decided {
+			return l.quiesce(r)
+		}
+		// 32-bit draws keep the payload within the O(log n) CONGEST
+		// budget; ties are broken by vertex id.
+		l.myDraw = uint64(l.env.Rand().Uint32())
+		l.buf = l.buf[:0]
+		l.buf = append(l.buf, lubyDraw)
+		l.buf = binary.AppendUvarint(l.buf, l.myDraw)
+		for v := range l.live {
+			l.env.Send(v, l.buf)
+		}
+		if len(l.live) == 0 {
+			// Isolated (or fully retired neighbourhood): join immediately.
+			l.decided = true
+			l.inMIS = true
+		}
+	case 1: // compare, winners announce
+		if l.decided {
+			return l.quiesce(r)
+		}
+		win := true
+		for v := range l.live {
+			d, ok := l.draws[v]
+			if !ok {
+				// Neighbour decided this very round boundary; treat its
+				// silence as non-competition.
+				continue
+			}
+			if d > l.myDraw || (d == l.myDraw && v > l.env.ID()) {
+				win = false
+				break
+			}
+		}
+		if win {
+			l.decided = true
+			l.inMIS = true
+			l.buf = l.buf[:0]
+			l.buf = append(l.buf, lubyWinner)
+			for v := range l.live {
+				l.env.Send(v, l.buf)
+			}
+		}
+		l.draws = map[int]uint64{}
+	case 2: // retired non-members tell remaining neighbours to forget them
+		if l.decided && !l.inMIS && !l.retireSent() {
+			l.buf = l.buf[:0]
+			l.buf = append(l.buf, lubyRetire)
+			for v := range l.live {
+				l.env.Send(v, l.buf)
+			}
+			l.markRetireSent()
+		}
+	}
+	return false
+}
+
+// quiesce lets a decided vertex stay alive just long enough to deliver its
+// final messages, then halt. MIS members halt after their win
+// announcement round; retired vertices halt after their retire broadcast.
+func (l *lubyNode) quiesce(r int) bool {
+	if l.inMIS {
+		return true
+	}
+	return l.retireSent()
+}
+
+func (l *lubyNode) retireSent() bool { return l.live == nil }
+func (l *lubyNode) markRetireSent()  { l.live = nil }

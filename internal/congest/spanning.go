@@ -1,0 +1,203 @@
+package congest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ConvergecastSum computes, for every node, the sum of values over its
+// connected component, using only CONGEST messages:
+//
+//  1. min-id flooding elects each component's leader,
+//  2. a BFS tree grows from the leader (parent = first LEVEL heard),
+//  3. partial sums converge-cast up the tree to the leader,
+//  4. the total floods back down the tree.
+//
+// radius must be at least the largest component diameter; the protocol
+// runs O(radius) rounds. Message payloads carry one varint, so the bit
+// budget in cfg must accommodate log2(max |partial sum|) bits (counting
+// uses values in {0,1}, well inside the default budget).
+func ConvergecastSum(g *Graph, values []int64, radius int, cfg Config) ([]int64, Stats, error) {
+	if len(values) != g.N() {
+		return nil, Stats{}, fmt.Errorf("congest: %d values for graph of %d nodes", len(values), g.N())
+	}
+	if radius < 1 {
+		radius = 1
+	}
+	nodes := make([]Node, g.N())
+	sums := make([]*sumNode, g.N())
+	for i := range nodes {
+		sums[i] = &sumNode{value: values[i], floodRounds: radius + 1, totalRounds: 4*radius + 10}
+		nodes[i] = sums[i]
+	}
+	stats, err := Run(g, nodes, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]int64, g.N())
+	for i, s := range sums {
+		if !s.haveTotal {
+			return nil, stats, fmt.Errorf("congest: node %d did not learn its component sum (radius %d too small?)", i, radius)
+		}
+		out[i] = s.total
+	}
+	return out, stats, nil
+}
+
+// Wire kinds for the spanning-tree protocol.
+const (
+	stLeader = 'L' // min-id flood payload: leader candidate
+	stLevel  = 'T' // BFS tree growth
+	stAdopt  = 'A' // child -> parent
+	stSum    = 'S' // partial sum up the tree
+	stTotal  = 'D' // component total down the tree
+)
+
+type sumNode struct {
+	env         *Env
+	value       int64
+	floodRounds int
+	totalRounds int
+
+	leader      int
+	leaderDirty bool
+
+	parent    int // neighbour id, or -1 (root/unadopted)
+	adopted   bool
+	adoptedAt int
+	announced bool // LEVEL/ADOPT sent
+
+	children     []int
+	childSums    map[int]int64
+	sentSum      bool
+	subtreeTotal int64
+
+	total     int64
+	haveTotal bool
+	sentTotal bool
+
+	buf []byte
+}
+
+var _ Node = (*sumNode)(nil)
+
+func (s *sumNode) Init(env *Env) {
+	s.env = env
+	s.leader = env.ID()
+	s.leaderDirty = true
+	s.parent = -1
+	s.childSums = make(map[int]int64)
+	s.subtreeTotal = s.value
+}
+
+func encodeKindValue(buf []byte, kind byte, v int64) []byte {
+	buf = buf[:0]
+	buf = append(buf, kind)
+	return binary.AppendVarint(buf, v)
+}
+
+func decodeKindValue(p []byte) (byte, int64, bool) {
+	if len(p) < 2 {
+		return 0, 0, false
+	}
+	v, n := binary.Varint(p[1:])
+	if n <= 0 {
+		return p[0], 0, false
+	}
+	return p[0], v, true
+}
+
+func (s *sumNode) Round(r int, inbox []Message) bool {
+	// Ingest everything first; kinds are self-describing so phases can
+	// overlap at their boundaries without confusion.
+	for _, msg := range inbox {
+		kind, v, ok := decodeKindValue(msg.Payload)
+		if !ok && kind != stLevel && kind != stAdopt {
+			continue
+		}
+		switch kind {
+		case stLeader:
+			if int(v) < s.leader {
+				s.leader = int(v)
+				s.leaderDirty = true
+			}
+		case stLevel:
+			if !s.adopted {
+				s.adopted = true
+				s.adoptedAt = r
+				s.parent = msg.From // inbox sorted by sender: smallest id wins
+			}
+		case stAdopt:
+			s.children = append(s.children, msg.From)
+		case stSum:
+			s.childSums[msg.From] = v
+		case stTotal:
+			if !s.haveTotal {
+				s.haveTotal = true
+				s.total = v
+			}
+		}
+	}
+
+	switch {
+	case r < s.floodRounds:
+		// Phase 1: leader election by min-id flooding.
+		if s.leaderDirty {
+			s.buf = encodeKindValue(s.buf, stLeader, int64(s.leader))
+			s.env.Broadcast(s.buf)
+			s.leaderDirty = false
+		}
+	case r == s.floodRounds && s.leader == s.env.ID() && !s.adopted:
+		// Phase 2 kickoff: the leader roots the tree.
+		s.adopted = true
+		s.adoptedAt = r
+		s.parent = -1
+		s.announced = true
+		s.buf = encodeKindValue(s.buf, stLevel, 0)
+		s.env.Broadcast(s.buf)
+	}
+
+	if s.adopted && !s.announced {
+		// Newly adopted: claim the parent, extend the tree elsewhere.
+		s.announced = true
+		s.buf = encodeKindValue(s.buf, stAdopt, 0)
+		s.env.Send(s.parent, s.buf)
+		lvl := encodeKindValue(nil, stLevel, 0)
+		for _, v := range s.env.Neighbors() {
+			if v != s.parent {
+				s.env.Send(v, lvl)
+			}
+		}
+		return false // sending ADOPT and LEVEL consumed this round's budget
+	}
+
+	// Phase 3: converge-cast once the children set is final (two rounds
+	// after adoption: children adopt at +1, their ADOPT arrives at +2).
+	if s.adopted && !s.sentSum && r >= s.adoptedAt+2 && len(s.childSums) == len(s.children) {
+		total := s.value
+		for _, cs := range s.childSums {
+			total += cs
+		}
+		s.subtreeTotal = total
+		s.sentSum = true
+		if s.parent >= 0 {
+			s.buf = encodeKindValue(s.buf, stSum, total)
+			s.env.Send(s.parent, s.buf)
+		} else {
+			// The leader has the component total; start phase 4.
+			s.total = total
+			s.haveTotal = true
+		}
+	}
+
+	// Phase 4: flood the total down the tree.
+	if s.haveTotal && !s.sentTotal {
+		s.sentTotal = true
+		s.buf = encodeKindValue(s.buf, stTotal, s.total)
+		for _, c := range s.children {
+			s.env.Send(c, s.buf)
+		}
+	}
+
+	return r >= s.totalRounds
+}

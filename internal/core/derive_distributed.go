@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dfl/internal/congest"
+	"dfl/internal/fl"
+)
+
+// DeriveDistributed computes the protocol parameters in-network instead of
+// centrally: min-coefficient and max-coefficient flooding plus a
+// BFS-tree convergecast that counts facilities, all in O(diameter) CONGEST
+// rounds. It returns one Derived per facility node, computed from that
+// node's component-local view — on a connected communication graph every
+// entry equals the central Derive result (property-tested); on a
+// disconnected graph each component gets its own (tighter) parameters,
+// which is the natural fully-local behaviour.
+//
+// The protocol sweep itself (Solve) takes the centrally derived parameters;
+// this function exists to discharge the "globals are obtainable" assumption
+// recorded in DESIGN.md and to measure its O(diameter) preprocessing cost.
+func DeriveDistributed(inst *fl.Instance, cfg Config) ([]Derived, congest.Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, congest.Stats{}, err
+	}
+	cfg = cfg.withDefaults()
+	graph, err := buildGraph(inst)
+	if err != nil {
+		return nil, congest.Stats{}, fmt.Errorf("core: build communication graph: %w", err)
+	}
+	m := inst.M()
+	radius := congest.Diameter(graph) + 1
+
+	// Per-node local coefficient extremes: a facility contributes its
+	// opening cost and incident edge costs, a client its incident edges.
+	const unset = int64(math.MaxInt64)
+	minVals := make([]int64, graph.N())
+	maxVals := make([]int64, graph.N())
+	consider := func(node int, c int64) {
+		if c > 0 && c < minVals[node] {
+			minVals[node] = c
+		}
+		if c > maxVals[node] {
+			maxVals[node] = c
+		}
+	}
+	for n := range minVals {
+		minVals[n] = unset
+	}
+	for i := 0; i < m; i++ {
+		consider(i, inst.FacilityCost(i))
+		for _, e := range inst.FacilityEdges(i) {
+			consider(i, e.Cost)
+			consider(m+e.To, e.Cost)
+		}
+	}
+	for j := 0; j < inst.NC(); j++ {
+		for _, e := range inst.ClientEdges(j) {
+			consider(m+j, e.Cost)
+		}
+	}
+
+	runCfg := congest.Config{Seed: 1, BitLimit: 0} // varint payloads up to MaxCost
+	mins, s1, err := congest.AggregateMin(graph, minVals, radius, runCfg)
+	if err != nil {
+		return nil, s1, fmt.Errorf("core: min flood: %w", err)
+	}
+	maxs, s2, err := congest.AggregateMax(graph, maxVals, radius, runCfg)
+	if err != nil {
+		return nil, s2, fmt.Errorf("core: max flood: %w", err)
+	}
+	ones := make([]int64, graph.N())
+	for i := 0; i < m; i++ {
+		ones[i] = 1
+	}
+	counts, s3, err := congest.ConvergecastSum(graph, ones, radius, runCfg)
+	if err != nil {
+		return nil, s3, fmt.Errorf("core: facility count: %w", err)
+	}
+
+	total := congest.Stats{
+		Rounds:   s1.Rounds + s2.Rounds + s3.Rounds,
+		Messages: s1.Messages + s2.Messages + s3.Messages,
+		Bits:     s1.Bits + s2.Bits + s3.Bits,
+	}
+	for _, s := range []congest.Stats{s1, s2, s3} {
+		if s.MaxMessageBits > total.MaxMessageBits {
+			total.MaxMessageBits = s.MaxMessageBits
+		}
+	}
+
+	phases := isqrtCeil(cfg.K)
+	out := make([]Derived, m)
+	for i := 0; i < m; i++ {
+		base := mins[i]
+		if base == unset {
+			base = 1
+		}
+		maxC := maxs[i]
+		rho := int64(1)
+		if maxC > 0 {
+			rho = fl.DivCeil(maxC, base)
+		}
+		chi := fl.RootCeil(fl.MulSat(counts[i], rho), phases)
+		if chi < 2 {
+			chi = 2
+		}
+		d := Derived{
+			Chi:           chi,
+			Phases:        phases,
+			ItersPerPhase: cfg.ItersPerPhase,
+			Base:          base,
+			Rho:           rho,
+		}
+		d.ProtoRounds = 4 * d.Phases * d.ItersPerPhase
+		d.TotalRounds = d.ProtoRounds + cleanupRounds
+		out[i] = d
+	}
+	return out, total, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+func TestDeriveDistributedMatchesCentralOnConnected(t *testing.T) {
+	// Complete bipartite instances are connected, so every facility's
+	// component-local view equals the global one.
+	gens := map[string]gen.Generator{
+		"uniform":   gen.Uniform{M: 8, NC: 30},
+		"euclidean": gen.Euclidean{M: 6, NC: 20},
+		"star":      gen.Star{M: 5, NC: 15},
+	}
+	for name, g := range gens {
+		t.Run(name, func(t *testing.T) {
+			inst, err := g.Generate(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			central, err := Derive(inst, Config{K: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			perNode, stats, err := DeriveDistributed(inst, Config{K: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(perNode) != inst.M() {
+				t.Fatalf("got %d derived entries, want %d", len(perNode), inst.M())
+			}
+			for i, d := range perNode {
+				if d != central {
+					t.Fatalf("facility %d derived %+v, central %+v", i, d, central)
+				}
+			}
+			if stats.Rounds == 0 || stats.Messages == 0 {
+				t.Fatalf("aggregation cost missing: %+v", stats)
+			}
+		})
+	}
+}
+
+func TestDeriveDistributedPerComponent(t *testing.T) {
+	// Two disconnected halves with very different spreads: each component
+	// must derive its own (tighter) parameters.
+	edges := []fl.RawEdge{
+		// Component A: facility 0, clients 0-1, costs ~1.
+		{Facility: 0, Client: 0, Cost: 1},
+		{Facility: 0, Client: 1, Cost: 2},
+		// Component B: facility 1, clients 2-3, costs ~1000.
+		{Facility: 1, Client: 2, Cost: 1000},
+		{Facility: 1, Client: 3, Cost: 500},
+	}
+	inst, err := fl.New("split", []int64{4, 8000}, 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, _, err := DeriveDistributed(inst, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component A: coefficients {4,1,2} -> base 1, max 4, rho 4, m 1.
+	if perNode[0].Base != 1 || perNode[0].Rho != 4 {
+		t.Fatalf("component A derived %+v", perNode[0])
+	}
+	// Component B: coefficients {8000,1000,500} -> base 500, rho 16, m 1.
+	if perNode[1].Base != 500 || perNode[1].Rho != 16 {
+		t.Fatalf("component B derived %+v", perNode[1])
+	}
+	if perNode[0].Chi >= perNode[1].Chi {
+		t.Fatalf("component A (rho 4) should have smaller chi than B (rho 16): %d vs %d",
+			perNode[0].Chi, perNode[1].Chi)
+	}
+}
+
+func TestDeriveDistributedValidatesConfig(t *testing.T) {
+	inst := tinyForConfig(t)
+	if _, _, err := DeriveDistributed(inst, Config{K: 0}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+}
+
+func TestDeriveDistributedRoundsScaleWithDiameter(t *testing.T) {
+	// A sparse instance has a larger communication diameter than a dense
+	// one of the same size; preprocessing rounds should reflect that.
+	dense, err := gen.Uniform{M: 10, NC: 40}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := gen.Uniform{M: 10, NC: 40, Density: 0.08, MinDegree: 1}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dStats, err := DeriveDistributed(dense, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sStats, err := DeriveDistributed(sparse, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStats.Rounds < dStats.Rounds {
+		t.Fatalf("sparse (diameter larger) used fewer rounds: %d vs %d", sStats.Rounds, dStats.Rounds)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dfl/internal/fl"
+	"dfl/internal/seq"
+)
+
+// TestSolveOnDegenerateInstances runs the distributed protocol on the
+// degenerate shapes from the sequential suite's edge cases: zero costs,
+// single nodes, representation-limit costs, total ties.
+func TestSolveOnDegenerateInstances(t *testing.T) {
+	cases := map[string]struct {
+		fac   []int64
+		nc    int
+		edges []fl.RawEdge
+	}{
+		"single pair": {[]int64{5}, 1, []fl.RawEdge{{Facility: 0, Client: 0, Cost: 3}}},
+		"zero facility cost": {[]int64{0}, 2, []fl.RawEdge{
+			{Facility: 0, Client: 0, Cost: 1}, {Facility: 0, Client: 1, Cost: 2},
+		}},
+		"all zero": {[]int64{0, 0}, 2, []fl.RawEdge{
+			{Facility: 0, Client: 0, Cost: 0}, {Facility: 1, Client: 1, Cost: 0},
+		}},
+		"max costs": {[]int64{fl.MaxCost}, 2, []fl.RawEdge{
+			{Facility: 0, Client: 0, Cost: fl.MaxCost}, {Facility: 0, Client: 1, Cost: fl.MaxCost},
+		}},
+		"total ties": {[]int64{3, 3, 3}, 3, []fl.RawEdge{
+			{Facility: 0, Client: 0, Cost: 2}, {Facility: 0, Client: 1, Cost: 2}, {Facility: 0, Client: 2, Cost: 2},
+			{Facility: 1, Client: 0, Cost: 2}, {Facility: 1, Client: 1, Cost: 2}, {Facility: 1, Client: 2, Cost: 2},
+			{Facility: 2, Client: 0, Cost: 2}, {Facility: 2, Client: 1, Cost: 2}, {Facility: 2, Client: 2, Cost: 2},
+		}},
+	}
+	for name, tc := range cases {
+		inst, err := fl.New(name, tc.fac, tc.nc, tc.edges)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		opt, err := seq.Exact(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		optCost := opt.Cost(inst)
+		for _, k := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/K=%d", name, k), func(t *testing.T) {
+				sol, rep, err := Solve(inst, Config{K: k}, WithSeed(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fl.Validate(inst, sol); err != nil {
+					t.Fatal(err)
+				}
+				if sol.Cost(inst) < optCost {
+					t.Fatalf("cost %d below OPT %d", sol.Cost(inst), optCost)
+				}
+				if rep.Net.Rounds != rep.Derived.TotalRounds {
+					t.Fatalf("rounds %d != %d", rep.Net.Rounds, rep.Derived.TotalRounds)
+				}
+			})
+			t.Run(fmt.Sprintf("%s/K=%d/cap", name, k), func(t *testing.T) {
+				sol, _, err := SolveSoftCap(inst, Config{K: k, SoftCapacity: 1}, WithSeed(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fl.ValidateCap(inst, 1, sol); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSolveTotalTiesOpensOneFacility: with randomized priorities the tie
+// instance should collapse onto a single facility (the optimal structure)
+// rather than opening all three.
+func TestSolveTotalTiesOpensOneFacility(t *testing.T) {
+	inst, err := fl.New("ties", []int64{3, 3, 3}, 3, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 2}, {Facility: 0, Client: 1, Cost: 2}, {Facility: 0, Client: 2, Cost: 2},
+		{Facility: 1, Client: 0, Cost: 2}, {Facility: 1, Client: 1, Cost: 2}, {Facility: 1, Client: 2, Cost: 2},
+		{Facility: 2, Client: 0, Cost: 2}, {Facility: 2, Client: 1, Cost: 2}, {Facility: 2, Client: 2, Cost: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	const runs = 10
+	for s := int64(0); s < runs; s++ {
+		sol, _, err := Solve(inst, Config{K: 16}, WithSeed(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.OpenCount() == 1 {
+			single++
+		}
+	}
+	if single < runs*7/10 {
+		t.Fatalf("only %d/%d tie runs collapsed to one facility", single, runs)
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math/bits"
+
+	"dfl/internal/congest"
+	"dfl/internal/fl"
+)
+
+// Node ids in the communication graph: facility i is node i, client j is
+// node m+j. The sub-round layout inside one offer/grant/open iteration:
+//
+//	sub 0  clients  process CONNECT from the previous iteration,
+//	                broadcast DONE once connected
+//	sub 1  facilities  process DONE, compute best star under the phase
+//	                threshold, send OFFER(priority) to the star's clients
+//	sub 2  clients  pick the best OFFER, send GRANT
+//	sub 3  facilities  process GRANTs; if the granted star still clears
+//	                slack * threshold, open and send CONNECT
+//
+// After Derived.ProtoRounds rounds, a fixed three-round cleanup connects
+// every remaining client to its cheapest facility.
+
+// facilityNode is facility i's state machine.
+type facilityNode struct {
+	inst *fl.Instance
+	idx  int // facility index == node id
+	cfg  Config
+	d    Derived
+
+	env        *congest.Env
+	active     map[int]bool  // client node ids still unconnected, as far as i knows
+	costOf     map[int]int64 // client node id -> connection cost
+	edges      []clientEdge  // ascending cost
+	open       bool
+	copies     int          // open copies (soft-capacitated mode; open == copies > 0)
+	load       int          // clients connected through this facility
+	offered    map[int]bool // client node ids offered in the current iteration
+	offerClass int          // class of the star offered this iteration
+	buf        []byte
+
+	// openedForced reports whether the facility opened only during cleanup
+	// (used by the report).
+	openedInCleanup bool
+}
+
+type clientEdge struct {
+	node int // client node id (m + client index)
+	cost int64
+}
+
+var _ congest.Node = (*facilityNode)(nil)
+
+func newFacilityNode(inst *fl.Instance, i int, cfg Config, d Derived) *facilityNode {
+	m := inst.M()
+	fes := inst.FacilityEdges(i)
+	f := &facilityNode{
+		inst:    inst,
+		idx:     i,
+		cfg:     cfg,
+		d:       d,
+		active:  make(map[int]bool, len(fes)),
+		costOf:  make(map[int]int64, len(fes)),
+		edges:   make([]clientEdge, 0, len(fes)),
+		offered: make(map[int]bool),
+		buf:     make([]byte, 0, 8),
+	}
+	for _, e := range fes { // already sorted by ascending cost
+		node := m + e.To
+		f.active[node] = true
+		f.costOf[node] = e.Cost
+		f.edges = append(f.edges, clientEdge{node: node, cost: e.Cost})
+	}
+	return f
+}
+
+func (f *facilityNode) Init(env *congest.Env) { f.env = env }
+
+func (f *facilityNode) Round(r int, inbox []congest.Message) bool {
+	if r >= f.d.ProtoRounds {
+		return f.cleanupRound(r, inbox)
+	}
+	switch r % 4 {
+	case 1:
+		f.processDone(inbox)
+		f.makeOffer(r)
+	case 3:
+		f.processGrants(r, inbox)
+	}
+	return false
+}
+
+func (f *facilityNode) processDone(inbox []congest.Message) {
+	for _, msg := range inbox {
+		if len(msg.Payload) == 1 && msg.Payload[0] == kindDone {
+			delete(f.active, msg.From)
+		}
+	}
+}
+
+// phaseOf maps a protocol round to its threshold phase.
+func (f *facilityNode) phaseOf(r int) int {
+	iter := r / 4
+	p := iter / f.d.ItersPerPhase
+	if p >= f.d.Phases {
+		p = f.d.Phases - 1
+	}
+	return p
+}
+
+// makeOffer quantizes the facility's BEST star against active clients into
+// its effectiveness class and, if the current phase has reached that class,
+// offers exactly that star. Offering the best prefix (rather than any
+// prefix within the class) is what keeps the distributed run tracking the
+// sequential greedy: a facility never claims clients beyond the point that
+// minimizes its cost-effectiveness. The class rides along in the OFFER so
+// clients can prefer better stars.
+func (f *facilityNode) makeOffer(r int) {
+	for k := range f.offered {
+		delete(f.offered, k)
+	}
+	// One scan over active clients (edges are cost sorted): track the
+	// prefix minimizing (openingCharge + prefix sum) / size. In
+	// uncapacitated mode the opening charge is f once (zero if already
+	// open); in soft-capacitated mode every copy the prefix spills into is
+	// charged again.
+	var sum, t int64
+	var bestNum, bestDen int64
+	bestLen := 0
+	prefix := make([]int, 0, len(f.edges))
+	for _, e := range f.edges {
+		if !f.active[e.node] {
+			continue
+		}
+		prefix = append(prefix, e.node)
+		sum = fl.AddSat(sum, e.cost)
+		t++
+		total := fl.AddSat(sum, f.openingCharge(int(t)))
+		if bestLen == 0 || fl.RatioLess(total, t, bestNum, bestDen) {
+			bestNum, bestDen = total, t
+			bestLen = len(prefix)
+		}
+	}
+	if bestLen == 0 {
+		return
+	}
+	class := -1
+	for q := 0; q < f.d.Phases; q++ {
+		if fl.RatioLessEq(bestNum, bestDen, f.d.Threshold(q), 1) {
+			class = q
+			break
+		}
+	}
+	if class < 0 || class > f.phaseOf(r) {
+		return // the star is not yet eligible in this phase
+	}
+	f.offerClass = class
+	var prio uint32
+	if f.cfg.DeterministicPriorities {
+		prio = uint32(f.idx)
+	} else {
+		prio = f.env.Rand().Uint32()
+	}
+	fine := bits.Len64(uint64(bestNum / bestDen))
+	payload := encodeOffer(f.buf, class, fine, prio)
+	f.buf = payload
+	for _, node := range prefix[:bestLen] {
+		f.offered[node] = true
+		f.env.Send(node, payload)
+	}
+}
+
+// openingCharge returns what connecting `extra` additional clients costs
+// in opening fees: f once in uncapacitated mode (zero when already open),
+// or one f per newly required copy in soft-capacitated mode.
+func (f *facilityNode) openingCharge(extra int) int64 {
+	fi := f.inst.FacilityCost(f.idx)
+	if f.cfg.SoftCapacity <= 0 {
+		if f.open {
+			return 0
+		}
+		return fi
+	}
+	newCopies := fl.CopiesNeeded(f.load+extra, f.cfg.SoftCapacity) - f.copies
+	if newCopies < 0 {
+		newCopies = 0
+	}
+	return fl.MulSat(int64(newCopies), fi)
+}
+
+// processGrants opens the facility if the granted sub-star is still within
+// slack of the phase threshold, and connects the granted clients.
+func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
+	var granted []int
+	var sum int64
+	for _, msg := range inbox {
+		if len(msg.Payload) != 1 || msg.Payload[0] != kindGrant {
+			continue
+		}
+		if !f.offered[msg.From] {
+			continue // stale or malicious grant
+		}
+		granted = append(granted, msg.From)
+		sum = fl.AddSat(sum, f.costOf[msg.From])
+	}
+	if len(granted) == 0 {
+		return
+	}
+	// The opening budget is tied to the class the offer was made at, not
+	// the phase threshold, so late phases cannot launder bad stars.
+	budget := fl.MulSat(fl.MulSat(f.d.Threshold(f.offerClass), f.cfg.Slack), int64(len(granted)))
+	if fl.AddSat(f.openingCharge(len(granted)), sum) > budget {
+		return // the star shrank too much; clients time out and stay active
+	}
+	f.connect(granted)
+}
+
+// connect commits a set of clients: accounts copies/load, marks the
+// facility open, and sends CONNECT.
+func (f *facilityNode) connect(nodes []int) {
+	f.load += len(nodes)
+	if f.cfg.SoftCapacity > 0 {
+		if need := fl.CopiesNeeded(f.load, f.cfg.SoftCapacity); need > f.copies {
+			f.copies = need
+		}
+	} else if f.copies == 0 {
+		f.copies = 1
+	}
+	f.open = true
+	for _, node := range nodes {
+		delete(f.active, node)
+		f.env.Send(node, payloadConnect)
+	}
+}
+
+// cleanupRound handles the fixed tail: at ProtoRounds+1 the facility
+// receives FORCE requests from clients with no other option, opens, and
+// connects them.
+func (f *facilityNode) cleanupRound(r int, inbox []congest.Message) bool {
+	if r == f.d.ProtoRounds+1 {
+		var forced []int
+		for _, msg := range inbox {
+			if len(msg.Payload) == 1 && msg.Payload[0] == kindForce {
+				forced = append(forced, msg.From)
+			}
+		}
+		if len(forced) > 0 {
+			if !f.open {
+				f.openedInCleanup = true
+			}
+			f.connect(forced)
+		}
+		return true // nothing left to do after answering FORCE
+	}
+	return false
+}
+
+// clientNode is client j's state machine.
+type clientNode struct {
+	inst *fl.Instance
+	idx  int // client index; node id is m+idx
+	cfg  Config
+	d    Derived
+
+	env       *congest.Env
+	assigned  int  // facility index, or fl.Unassigned
+	announced bool // DONE broadcast performed
+	granted   int  // facility node id granted this iteration, or -1
+
+	// cleanupConnected reports whether the client only connected via the
+	// cleanup fallback (used by the report).
+	cleanupConnected bool
+}
+
+var _ congest.Node = (*clientNode)(nil)
+
+func newClientNode(inst *fl.Instance, j int, cfg Config, d Derived) *clientNode {
+	return &clientNode{
+		inst:     inst,
+		idx:      j,
+		cfg:      cfg,
+		d:        d,
+		assigned: fl.Unassigned,
+		granted:  -1,
+	}
+}
+
+func (c *clientNode) Init(env *congest.Env) { c.env = env }
+
+func (c *clientNode) Round(r int, inbox []congest.Message) bool {
+	switch {
+	case r == c.d.ProtoRounds:
+		// Last chance to absorb a CONNECT from the final iteration, then
+		// fall back to the cheapest facility.
+		c.processConnect(inbox, false)
+		if c.assigned == fl.Unassigned {
+			e, ok := c.inst.CheapestEdge(c.idx)
+			if ok {
+				c.env.Send(e.To, payloadForce)
+			}
+		}
+		return false
+	case r == c.d.ProtoRounds+1:
+		return false // facilities answer FORCE this round
+	case r >= c.d.ProtoRounds+2:
+		c.processConnect(inbox, true)
+		return true
+	}
+	switch r % 4 {
+	case 0:
+		c.processConnect(inbox, false)
+		if c.assigned != fl.Unassigned && !c.announced {
+			c.announceDone()
+		}
+	case 2:
+		c.pickOffer(inbox)
+	}
+	return false
+}
+
+func (c *clientNode) processConnect(inbox []congest.Message, cleanup bool) {
+	for _, msg := range inbox {
+		if len(msg.Payload) != 1 || msg.Payload[0] != kindConnect {
+			continue
+		}
+		if c.assigned != fl.Unassigned {
+			continue
+		}
+		if !cleanup && msg.From != c.granted {
+			continue // only the facility we granted may connect us
+		}
+		c.assigned = msg.From // facility node id == facility index
+		c.cleanupConnected = cleanup
+	}
+	c.granted = -1
+}
+
+func (c *clientNode) announceDone() {
+	for _, v := range c.env.Neighbors() {
+		if v == c.assigned {
+			continue
+		}
+		c.env.Send(v, payloadDone)
+	}
+	c.announced = true
+}
+
+// pickOffer grants the best OFFER: lowest effectiveness class first (better
+// stars win), then — with the FineGrainedTieBreak extension — the lowest
+// log2-quantized effectiveness, then highest random priority (symmetry
+// breaking), then lowest facility id (determinism).
+func (c *clientNode) pickOffer(inbox []congest.Message) {
+	if c.assigned != fl.Unassigned {
+		return
+	}
+	best := -1
+	bestClass, bestFine := 0, 0
+	var bestPrio uint32
+	for _, msg := range inbox {
+		class, fine, prio, err := decodeOffer(msg.Payload)
+		if err != nil {
+			continue
+		}
+		if !c.cfg.FineGrainedTieBreak {
+			fine = 0
+		}
+		better := best == -1 ||
+			class < bestClass ||
+			(class == bestClass && fine < bestFine) ||
+			(class == bestClass && fine == bestFine && prio > bestPrio) ||
+			(class == bestClass && fine == bestFine && prio == bestPrio && msg.From < best)
+		if better {
+			best, bestClass, bestFine, bestPrio = msg.From, class, fine, prio
+		}
+	}
+	if best == -1 {
+		return
+	}
+	c.granted = best
+	c.env.Send(best, payloadGrant)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dfl/internal/congest"
+	"dfl/internal/fl"
+)
+
+// ErrInfeasible is returned when some client has no incident facility.
+var ErrInfeasible = errors.New("core: instance has a client with no incident facility")
+
+// Report describes one distributed run: the derived protocol parameters,
+// what the execution cost in the CONGEST model's currency, and how the
+// solution was assembled.
+type Report struct {
+	Derived Derived
+	Net     congest.Stats
+	// CleanupClients counts clients connected by the final fallback rather
+	// than the phase sweep (ablation E7 tracks this share).
+	CleanupClients int
+	// CleanupFacilities counts facilities opened only by the fallback.
+	CleanupFacilities int
+	// OpenFacilities is the total number of open facilities.
+	OpenFacilities int
+}
+
+// options collects run-level knobs; see the With* functions.
+type options struct {
+	seed     int64
+	parallel bool
+	bitLimit int // <0: engine default from network size; 0: unlimited
+	observer func(round int, delivered []congest.Message)
+	dropProb float64
+}
+
+// Option configures Solve.
+type Option func(*options)
+
+// WithSeed sets the seed for all protocol randomness. Runs are fully
+// reproducible from (instance, config, seed).
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithParallel runs the simulator with a goroutine-per-worker round
+// executor. The execution is identical to the sequential one.
+func WithParallel(parallel bool) Option { return func(o *options) { o.parallel = parallel } }
+
+// WithBitLimit overrides the CONGEST message-size budget in bits
+// (0 disables the check). The default is congest.SuggestedBitLimit of the
+// network size.
+func WithBitLimit(bits int) Option { return func(o *options) { o.bitLimit = bits } }
+
+// WithObserver installs a per-round observer that receives every delivered
+// message; used by the tracing tool.
+func WithObserver(f func(round int, delivered []congest.Message)) Option {
+	return func(o *options) { o.observer = f }
+}
+
+// WithLossyNetwork drops each protocol message independently with
+// probability p during the phase sweep. The cleanup rounds stay reliable
+// (they are the protocol's commitment barrier), so the returned solution
+// remains feasible at any loss rate — only its quality degrades. Used by
+// the fault-sensitivity experiment (E9) and the failure-injection tests.
+func WithLossyNetwork(p float64) Option {
+	return func(o *options) { o.dropProb = p }
+}
+
+// Solve runs the distributed facility-location protocol on inst at the
+// trade-off point selected by cfg and returns the (always feasible)
+// solution together with a run report. For the soft-capacitated variant
+// use SolveSoftCap.
+func Solve(inst *fl.Instance, cfg Config, opts ...Option) (*fl.Solution, *Report, error) {
+	if cfg.SoftCapacity > 0 {
+		return nil, nil, errors.New("core: Solve is uncapacitated; use SolveSoftCap")
+	}
+	facilities, clients, rep, err := runProtocol(inst, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol := fl.NewSolution(inst)
+	for i, f := range facilities {
+		sol.Open[i] = f.open
+	}
+	for j, c := range clients {
+		sol.Assign[j] = c.assigned
+	}
+	if err := fl.Validate(inst, sol); err != nil {
+		return nil, nil, fmt.Errorf("core: protocol produced invalid solution: %w", err)
+	}
+	return sol, rep, nil
+}
+
+// SolveSoftCap runs the protocol in soft-capacitated mode: every copy of a
+// facility costs its opening cost again and serves at most
+// cfg.SoftCapacity clients. The returned solution is always feasible under
+// that capacity.
+func SolveSoftCap(inst *fl.Instance, cfg Config, opts ...Option) (*fl.CapSolution, *Report, error) {
+	if cfg.SoftCapacity < 1 {
+		return nil, nil, errors.New("core: SolveSoftCap needs SoftCapacity >= 1")
+	}
+	facilities, clients, rep, err := runProtocol(inst, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol := fl.NewCapSolution(inst)
+	for i, f := range facilities {
+		sol.Copies[i] = f.copies
+	}
+	for j, c := range clients {
+		sol.Assign[j] = c.assigned
+	}
+	// A CONNECT lost to injected faults can leave a facility holding more
+	// copies than its realized load needs; trimming is free.
+	sol = fl.TrimCopies(inst, cfg.SoftCapacity, sol)
+	if err := fl.ValidateCap(inst, cfg.SoftCapacity, sol); err != nil {
+		return nil, nil, fmt.Errorf("core: protocol produced invalid capacitated solution: %w", err)
+	}
+	return sol, rep, nil
+}
+
+// runProtocol is the shared engine run behind Solve and SolveSoftCap.
+func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode, []*clientNode, *Report, error) {
+	if !inst.Connectable() {
+		return nil, nil, nil, ErrInfeasible
+	}
+	d, err := Derive(inst, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	o := options{bitLimit: -1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	m, nc := inst.M(), inst.NC()
+	graph, err := buildGraph(inst)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: build communication graph: %w", err)
+	}
+	bitLimit := o.bitLimit
+	if bitLimit < 0 {
+		bitLimit = congest.SuggestedBitLimit(graph.N())
+	}
+
+	facilities := make([]*facilityNode, m)
+	clients := make([]*clientNode, nc)
+	nodes := make([]congest.Node, 0, m+nc)
+	for i := 0; i < m; i++ {
+		facilities[i] = newFacilityNode(inst, i, cfg, d)
+		nodes = append(nodes, facilities[i])
+	}
+	for j := 0; j < nc; j++ {
+		clients[j] = newClientNode(inst, j, cfg, d)
+		nodes = append(nodes, clients[j])
+	}
+
+	var faults congest.Faults
+	if o.dropProb > 0 {
+		faults = congest.Faults{DropProb: o.dropProb, DropUntilRound: d.ProtoRounds}
+	}
+	stats, err := congest.Run(graph, nodes, congest.Config{
+		BitLimit:  bitLimit,
+		Seed:      o.seed,
+		MaxRounds: d.TotalRounds + 4,
+		Parallel:  o.parallel,
+		Observer:  o.observer,
+		Faults:    faults,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: protocol execution: %w", err)
+	}
+
+	rep := &Report{Derived: d, Net: stats}
+	for _, f := range facilities {
+		if f.open {
+			rep.OpenFacilities++
+		}
+		if f.openedInCleanup {
+			rep.CleanupFacilities++
+		}
+	}
+	for _, c := range clients {
+		if c.cleanupConnected {
+			rep.CleanupClients++
+		}
+	}
+	return facilities, clients, rep, nil
+}
+
+// SolveBest runs the protocol `runs` times with consecutive seeds starting
+// at baseSeed and returns the cheapest solution with its report. Because
+// every run is a constant number of rounds, running a few in sequence (or,
+// in a real deployment, in parallel with disjoint port spaces) is the
+// cheapest way to shave the variance of randomized symmetry breaking.
+func SolveBest(inst *fl.Instance, cfg Config, baseSeed int64, runs int, opts ...Option) (*fl.Solution, *Report, error) {
+	if runs < 1 {
+		return nil, nil, errors.New("core: SolveBest needs at least one run")
+	}
+	var (
+		best    *fl.Solution
+		bestRep *Report
+		bestC   int64
+	)
+	for s := 0; s < runs; s++ {
+		// The per-run seed is appended last so it wins over any caller seed.
+		runOpts := append(append([]Option(nil), opts...), WithSeed(baseSeed+int64(s)))
+		sol, rep, err := Solve(inst, cfg, runOpts...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("run %d: %w", s, err)
+		}
+		if c := sol.Cost(inst); best == nil || c < bestC {
+			best, bestRep, bestC = sol, rep, c
+		}
+	}
+	return best, bestRep, nil
+}
+
+// buildGraph constructs the bipartite communication graph of inst:
+// facility i is node i, client j is node m+j.
+func buildGraph(inst *fl.Instance) (*congest.Graph, error) {
+	m := inst.M()
+	return congest.Bipartite(m, inst.NC(), func(yield func(i, j int) bool) {
+		for i := 0; i < m; i++ {
+			for _, e := range inst.FacilityEdges(i) {
+				if !yield(i, e.To) {
+					return
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is one bipartite connection possibility, seen from either side.
+// When stored on a client it points at a facility; when stored on a facility
+// it points at a client.
+type Edge struct {
+	To   int   // index of the node on the other side
+	Cost int64 // connection cost, 0 <= Cost <= MaxCost
+}
+
+// Instance is an immutable uncapacitated facility location instance on a
+// bipartite graph. Facilities are indexed 0..M()-1 and clients 0..NC()-1.
+//
+// The slices returned by ClientEdges and FacilityEdges are views into the
+// instance's internal storage and must not be modified; use the Copy
+// variants when mutation is needed.
+type Instance struct {
+	name          string
+	facilityCost  []int64
+	clientEdges   [][]Edge // per client, sorted by ascending cost then facility id
+	facilityEdges [][]Edge // per facility, sorted by ascending cost then client id
+	edgeCount     int
+}
+
+// RawEdge names one bipartite edge during instance construction.
+type RawEdge struct {
+	Facility int
+	Client   int
+	Cost     int64
+}
+
+// New builds an instance from facility opening costs and an explicit sparse
+// edge list. Duplicate (facility, client) pairs are rejected.
+func New(name string, facilityCost []int64, numClients int, edges []RawEdge) (*Instance, error) {
+	m := len(facilityCost)
+	if m == 0 {
+		return nil, errors.New("fl: instance needs at least one facility")
+	}
+	if numClients < 0 {
+		return nil, fmt.Errorf("fl: negative client count %d", numClients)
+	}
+	for i, f := range facilityCost {
+		if f < 0 || f > MaxCost {
+			return nil, fmt.Errorf("fl: facility %d cost %d out of range [0, %d]", i, f, MaxCost)
+		}
+	}
+	inst := &Instance{
+		name:          name,
+		facilityCost:  append([]int64(nil), facilityCost...),
+		clientEdges:   make([][]Edge, numClients),
+		facilityEdges: make([][]Edge, m),
+	}
+	for _, e := range edges {
+		if e.Facility < 0 || e.Facility >= m {
+			return nil, fmt.Errorf("fl: edge references facility %d, have %d facilities", e.Facility, m)
+		}
+		if e.Client < 0 || e.Client >= numClients {
+			return nil, fmt.Errorf("fl: edge references client %d, have %d clients", e.Client, numClients)
+		}
+		if e.Cost < 0 || e.Cost > MaxCost {
+			return nil, fmt.Errorf("fl: edge (%d,%d) cost %d out of range [0, %d]", e.Facility, e.Client, e.Cost, MaxCost)
+		}
+		inst.clientEdges[e.Client] = append(inst.clientEdges[e.Client], Edge{To: e.Facility, Cost: e.Cost})
+		inst.facilityEdges[e.Facility] = append(inst.facilityEdges[e.Facility], Edge{To: e.Client, Cost: e.Cost})
+	}
+	inst.edgeCount = len(edges)
+	for j := range inst.clientEdges {
+		sortEdges(inst.clientEdges[j])
+		if err := checkNoDuplicate(inst.clientEdges[j]); err != nil {
+			return nil, fmt.Errorf("fl: client %d: %w", j, err)
+		}
+	}
+	for i := range inst.facilityEdges {
+		sortEdges(inst.facilityEdges[i])
+	}
+	return inst, nil
+}
+
+// NewDense builds a complete-bipartite instance from a cost matrix indexed
+// costs[client][facility].
+func NewDense(name string, facilityCost []int64, costs [][]int64) (*Instance, error) {
+	m := len(facilityCost)
+	edges := make([]RawEdge, 0, len(costs)*m)
+	for j, row := range costs {
+		if len(row) != m {
+			return nil, fmt.Errorf("fl: cost row %d has %d entries, want %d", j, len(row), m)
+		}
+		for i, c := range row {
+			edges = append(edges, RawEdge{Facility: i, Client: j, Cost: c})
+		}
+	}
+	return New(name, facilityCost, len(costs), edges)
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Cost != es[b].Cost {
+			return es[a].Cost < es[b].Cost
+		}
+		return es[a].To < es[b].To
+	})
+}
+
+func checkNoDuplicate(es []Edge) error {
+	seen := make(map[int]bool, len(es))
+	for _, e := range es {
+		if seen[e.To] {
+			return fmt.Errorf("duplicate edge to %d", e.To)
+		}
+		seen[e.To] = true
+	}
+	return nil
+}
+
+// Name returns the instance's human-readable label.
+func (in *Instance) Name() string { return in.name }
+
+// M returns the number of facilities.
+func (in *Instance) M() int { return len(in.facilityCost) }
+
+// NC returns the number of clients.
+func (in *Instance) NC() int { return len(in.clientEdges) }
+
+// EdgeCount returns the number of bipartite edges.
+func (in *Instance) EdgeCount() int { return in.edgeCount }
+
+// FacilityCost returns the opening cost of facility i.
+func (in *Instance) FacilityCost(i int) int64 { return in.facilityCost[i] }
+
+// FacilityCosts returns a copy of all opening costs.
+func (in *Instance) FacilityCosts() []int64 {
+	return append([]int64(nil), in.facilityCost...)
+}
+
+// ClientEdges returns facility options of client j sorted by ascending cost.
+// The returned slice is shared storage: callers must not modify it.
+func (in *Instance) ClientEdges(j int) []Edge { return in.clientEdges[j] }
+
+// FacilityEdges returns client options of facility i sorted by ascending
+// cost. The returned slice is shared storage: callers must not modify it.
+func (in *Instance) FacilityEdges(i int) []Edge { return in.facilityEdges[i] }
+
+// Cost returns the connection cost between facility i and client j, and
+// whether that edge exists.
+func (in *Instance) Cost(i, j int) (int64, bool) {
+	es := in.clientEdges[j]
+	// Edges are sorted by cost, not facility id, so scan; client degrees are
+	// small in sparse instances and a scan beats a map for dense ones too.
+	for _, e := range es {
+		if e.To == i {
+			return e.Cost, true
+		}
+	}
+	return 0, false
+}
+
+// CheapestEdge returns the cheapest facility option of client j, or false
+// when j has no incident edge.
+func (in *Instance) CheapestEdge(j int) (Edge, bool) {
+	es := in.clientEdges[j]
+	if len(es) == 0 {
+		return Edge{}, false
+	}
+	return es[0], true
+}
+
+// Spread returns rho: the ratio between the largest and the smallest
+// non-zero numeric coefficient (facility or connection cost) of the
+// instance, rounded up, and at least 1. It parameterizes the class base of
+// the distributed algorithm.
+func (in *Instance) Spread() int64 {
+	var maxC int64
+	minC := int64(0)
+	consider := func(c int64) {
+		if c > maxC {
+			maxC = c
+		}
+		if c > 0 && (minC == 0 || c < minC) {
+			minC = c
+		}
+	}
+	for _, f := range in.facilityCost {
+		consider(f)
+	}
+	for _, es := range in.clientEdges {
+		for _, e := range es {
+			consider(e.Cost)
+		}
+	}
+	if minC == 0 {
+		return 1
+	}
+	return DivCeil(maxC, minC)
+}
+
+// MinPositiveCost returns the smallest strictly positive coefficient of the
+// instance, or 1 when all coefficients are zero.
+func (in *Instance) MinPositiveCost() int64 {
+	minC := int64(0)
+	consider := func(c int64) {
+		if c > 0 && (minC == 0 || c < minC) {
+			minC = c
+		}
+	}
+	for _, f := range in.facilityCost {
+		consider(f)
+	}
+	for _, es := range in.clientEdges {
+		for _, e := range es {
+			consider(e.Cost)
+		}
+	}
+	if minC == 0 {
+		return 1
+	}
+	return minC
+}
+
+// MaxCoefficient returns the largest coefficient of the instance.
+func (in *Instance) MaxCoefficient() int64 {
+	var maxC int64
+	for _, f := range in.facilityCost {
+		if f > maxC {
+			maxC = f
+		}
+	}
+	for _, es := range in.clientEdges {
+		for _, e := range es {
+			if e.Cost > maxC {
+				maxC = e.Cost
+			}
+		}
+	}
+	return maxC
+}
+
+// Connectable reports whether every client has at least one incident edge,
+// i.e. whether a feasible solution exists.
+func (in *Instance) Connectable() bool {
+	for _, es := range in.clientEdges {
+		if len(es) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package fl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	inst := tiny(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameInstance(t, inst, got)
+}
+
+func assertSameInstance(t *testing.T, want, got *Instance) {
+	t.Helper()
+	if got.M() != want.M() || got.NC() != want.NC() || got.EdgeCount() != want.EdgeCount() {
+		t.Fatalf("shape (%d,%d,%d) != (%d,%d,%d)",
+			got.M(), got.NC(), got.EdgeCount(), want.M(), want.NC(), want.EdgeCount())
+	}
+	for i := 0; i < want.M(); i++ {
+		if got.FacilityCost(i) != want.FacilityCost(i) {
+			t.Fatalf("facility %d cost %d != %d", i, got.FacilityCost(i), want.FacilityCost(i))
+		}
+	}
+	for j := 0; j < want.NC(); j++ {
+		we, ge := want.ClientEdges(j), got.ClientEdges(j)
+		if len(we) != len(ge) {
+			t.Fatalf("client %d degree %d != %d", j, len(ge), len(we))
+		}
+		for k := range we {
+			if we[k] != ge[k] {
+				t.Fatalf("client %d edge %d: %v != %v", j, k, ge[k], we[k])
+			}
+		}
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	const text = `
+# a comment
+ufl 2 2 demo
+
+f 0 7
+f 1 3
+e 0 0 5
+e 0 1 6
+e 1 1 1
+`
+	inst, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name() != "demo" || inst.M() != 2 || inst.NC() != 2 || inst.EdgeCount() != 3 {
+		t.Fatalf("parsed %s m=%d nc=%d e=%d", inst.Name(), inst.M(), inst.NC(), inst.EdgeCount())
+	}
+	if c, ok := inst.Cost(1, 1); !ok || c != 1 {
+		t.Fatalf("Cost(1,1) = (%d,%v)", c, ok)
+	}
+	if inst.FacilityCost(0) != 7 {
+		t.Fatalf("FacilityCost(0) = %d", inst.FacilityCost(0))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name, text, wantErr string
+	}{
+		{"no header", "f 0 1\n", "before header"},
+		{"missing header", "# nothing\n", "missing"},
+		{"dup header", "ufl 1 1\nufl 1 1\n", "duplicate header"},
+		{"bad m", "ufl x 1\n", "bad facility count"},
+		{"bad nc", "ufl 1 x\n", "bad client count"},
+		{"zero m", "ufl 0 1\n", "unreasonable"},
+		{"short f", "ufl 1 1\nf 0\n", "want 'f"},
+		{"bad f index", "ufl 1 1\nf 9 1\n", "bad facility index"},
+		{"bad f cost", "ufl 1 1\nf 0 x\n", "bad cost"},
+		{"short e", "ufl 1 1\ne 0 0\n", "want 'e"},
+		{"bad e cost", "ufl 1 1\ne 0 0 x\n", "bad cost"},
+		{"unknown directive", "ufl 1 1\nq 1\n", "unknown directive"},
+		{"edge out of range", "ufl 1 1\ne 5 0 1\n", "references facility"},
+		{"negative edge cost", "ufl 1 1\ne 0 0 -4\n", "out of range"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tt.text))
+			if err == nil {
+				t.Fatalf("Read succeeded, want error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteSanitizesName(t *testing.T) {
+	inst := mustInstance(t, "has spaces\tand tabs", []int64{1}, 0, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if strings.Count(line, " ") != 3 { // "ufl <m> <nc> <name>" exactly
+		t.Fatalf("header not sanitized: %q", line)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(back.Name(), " \t") {
+		t.Fatalf("name round-tripped with whitespace: %q", back.Name())
+	}
+}
+
+// TestIORoundTripProperty round-trips random instances through the text
+// format.
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 1
+		nc := rng.Intn(8)
+		fac := make([]int64, m)
+		for i := range fac {
+			fac[i] = rng.Int63n(1000)
+		}
+		var edges []RawEdge
+		for j := 0; j < nc; j++ {
+			perm := rng.Perm(m)
+			for _, i := range perm[:rng.Intn(m)+1] {
+				edges = append(edges, RawEdge{Facility: i, Client: j, Cost: rng.Int63n(500)})
+			}
+		}
+		inst, err := New("prop", fac, nc, edges)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, inst); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.M() != inst.M() || got.NC() != inst.NC() || got.EdgeCount() != inst.EdgeCount() {
+			return false
+		}
+		for j := 0; j < nc; j++ {
+			we, ge := inst.ClientEdges(j), got.ClientEdges(j)
+			if len(we) != len(ge) {
+				return false
+			}
+			for k := range we {
+				if we[k] != ge[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package fl defines the core data model for uncapacitated facility
+// location (UFL): instances, solutions, feasibility validation, exact cost
+// arithmetic, and serialization.
+//
+// All costs are non-negative int64 values. Algorithms in this repository
+// compare cost-effectiveness ratios (a/b vs c/d) exactly via 128-bit
+// cross-multiplication rather than floating point, so results are fully
+// deterministic and independent of FPU behaviour.
+package fl
+
+import "math/bits"
+
+// MaxCost is the largest cost value the package accepts. Bounding individual
+// costs at 2^40 guarantees that any sum of up to 2^22 costs fits in an int64
+// and that cross-multiplied ratio comparisons fit in 128 bits.
+const MaxCost int64 = 1 << 40
+
+// RatioLess reports whether a/b < c/d for non-negative numerators and
+// strictly positive denominators, computed exactly in 128-bit arithmetic.
+func RatioLess(a, b, c, d int64) bool {
+	hi1, lo1 := bits.Mul64(uint64(a), uint64(d))
+	hi2, lo2 := bits.Mul64(uint64(c), uint64(b))
+	if hi1 != hi2 {
+		return hi1 < hi2
+	}
+	return lo1 < lo2
+}
+
+// RatioLessEq reports whether a/b <= c/d, exactly.
+func RatioLessEq(a, b, c, d int64) bool {
+	return !RatioLess(c, d, a, b)
+}
+
+// RatioCmp compares a/b with c/d exactly, returning -1, 0, or +1.
+func RatioCmp(a, b, c, d int64) int {
+	hi1, lo1 := bits.Mul64(uint64(a), uint64(d))
+	hi2, lo2 := bits.Mul64(uint64(c), uint64(b))
+	switch {
+	case hi1 < hi2 || (hi1 == hi2 && lo1 < lo2):
+		return -1
+	case hi1 == hi2 && lo1 == lo2:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// AddSat returns a+b, saturating at MaxInt64 instead of overflowing. Cost
+// accumulators use it so that a pathological sum fails threshold tests
+// safely rather than wrapping around.
+func AddSat(a, b int64) int64 {
+	s := a + b
+	if s < a {
+		return 1<<63 - 1
+	}
+	return s
+}
+
+// MulSat returns a*b for non-negative operands, saturating at MaxInt64.
+func MulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > 1<<63-1 {
+		return 1<<63 - 1
+	}
+	return int64(lo)
+}
+
+// DivCeil returns ceil(a/b) for a >= 0, b > 0.
+func DivCeil(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// RootCeil returns the smallest integer r >= 1 with r^k >= x, i.e.
+// ceil(x^(1/k)), for x >= 1 and k >= 1. It is used to compute the class
+// base chi = ceil((m*rho)^(1/sqrt(k))) without floating point.
+func RootCeil(x int64, k int) int64 {
+	if x <= 1 || k <= 0 {
+		return 1
+	}
+	if k == 1 {
+		return x
+	}
+	lo, hi := int64(1), int64(2)
+	for powSatAtLeast(hi, k, x) == false {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if powSatAtLeast(mid, k, x) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// powSatAtLeast reports whether base^k >= x, with saturating multiplication
+// so that huge intermediate powers do not overflow.
+func powSatAtLeast(base int64, k int, x int64) bool {
+	p := int64(1)
+	for i := 0; i < k; i++ {
+		p = MulSat(p, base)
+		if p >= x {
+			return true
+		}
+	}
+	return p >= x
+}
+
+// ISqrt returns floor(sqrt(x)) for x >= 0.
+func ISqrt(x int64) int64 {
+	if x < 2 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	r := int64(1) << ((bits.Len64(uint64(x))+1)/2 + 1)
+	for {
+		next := (r + x/r) / 2
+		if next >= r {
+			return r
+		}
+		r = next
+	}
+}

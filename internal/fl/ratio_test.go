@@ -1,0 +1,194 @@
+package fl
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioLessBasic(t *testing.T) {
+	tests := []struct {
+		name           string
+		a, b, c, d     int64
+		less, lessEq   bool
+		cmpExpectation int
+	}{
+		{"one half vs one third", 1, 2, 1, 3, false, false, 1},
+		{"one third vs one half", 1, 3, 1, 2, true, true, -1},
+		{"equal simple", 2, 4, 1, 2, false, true, 0},
+		{"zero vs positive", 0, 5, 1, 100, true, true, -1},
+		{"zero vs zero", 0, 5, 0, 7, false, true, 0},
+		{"large no overflow", math.MaxInt64 / 2, 3, math.MaxInt64 / 2, 2, true, true, -1},
+		{"huge equal", math.MaxInt64, math.MaxInt64, 1, 1, false, true, 0},
+		{"huge unequal", math.MaxInt64, math.MaxInt64 - 1, 1, 1, false, false, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := RatioLess(tt.a, tt.b, tt.c, tt.d); got != tt.less {
+				t.Errorf("RatioLess(%d/%d, %d/%d) = %v, want %v", tt.a, tt.b, tt.c, tt.d, got, tt.less)
+			}
+			if got := RatioLessEq(tt.a, tt.b, tt.c, tt.d); got != tt.lessEq {
+				t.Errorf("RatioLessEq(%d/%d, %d/%d) = %v, want %v", tt.a, tt.b, tt.c, tt.d, got, tt.lessEq)
+			}
+			if got := RatioCmp(tt.a, tt.b, tt.c, tt.d); got != tt.cmpExpectation {
+				t.Errorf("RatioCmp(%d/%d, %d/%d) = %d, want %d", tt.a, tt.b, tt.c, tt.d, got, tt.cmpExpectation)
+			}
+		})
+	}
+}
+
+// TestRatioMatchesBigRat property-tests the 128-bit comparison against
+// math/big on random non-negative numerators and positive denominators.
+func TestRatioMatchesBigRat(t *testing.T) {
+	f := func(a, c int64, b, d int64) bool {
+		if a < 0 {
+			a = -(a + 1)
+		}
+		if c < 0 {
+			c = -(c + 1)
+		}
+		if b < 0 {
+			b = -(b + 1)
+		}
+		if d < 0 {
+			d = -(d + 1)
+		}
+		b, d = b%MaxCost+1, d%MaxCost+1 // strictly positive denominators
+		r1 := new(big.Rat).SetFrac64(a, b)
+		r2 := new(big.Rat).SetFrac64(c, d)
+		want := r1.Cmp(r2)
+		return RatioCmp(a, b, c, d) == want &&
+			RatioLess(a, b, c, d) == (want < 0) &&
+			RatioLessEq(a, b, c, d) == (want <= 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSat(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, w int64
+	}{
+		{"simple", 2, 3, 5},
+		{"zero", 0, 0, 0},
+		{"saturate", math.MaxInt64, 1, math.MaxInt64},
+		{"saturate both", math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{"near max ok", math.MaxInt64 - 1, 1, math.MaxInt64},
+	}
+	for _, tt := range tests {
+		if got := AddSat(tt.a, tt.b); got != tt.w {
+			t.Errorf("%s: AddSat(%d,%d)=%d want %d", tt.name, tt.a, tt.b, got, tt.w)
+		}
+	}
+}
+
+func TestMulSat(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, w int64
+	}{
+		{"simple", 6, 7, 42},
+		{"zero left", 0, 99, 0},
+		{"zero right", 99, 0, 0},
+		{"saturate", math.MaxInt64, 2, math.MaxInt64},
+		{"saturate big", 1 << 40, 1 << 40, math.MaxInt64},
+		{"edge ok", 1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, tt := range tests {
+		if got := MulSat(tt.a, tt.b); got != tt.w {
+			t.Errorf("%s: MulSat(%d,%d)=%d want %d", tt.name, tt.a, tt.b, got, tt.w)
+		}
+	}
+}
+
+func TestDivCeil(t *testing.T) {
+	tests := []struct{ a, b, w int64 }{
+		{0, 1, 0}, {1, 1, 1}, {10, 3, 4}, {9, 3, 3}, {1, 100, 1},
+	}
+	for _, tt := range tests {
+		if got := DivCeil(tt.a, tt.b); got != tt.w {
+			t.Errorf("DivCeil(%d,%d)=%d want %d", tt.a, tt.b, got, tt.w)
+		}
+	}
+}
+
+func TestRootCeil(t *testing.T) {
+	tests := []struct {
+		x int64
+		k int
+		w int64
+	}{
+		{1, 3, 1},
+		{8, 3, 2},
+		{9, 3, 3}, // 2^3=8 < 9 <= 27
+		{27, 3, 3},
+		{28, 3, 4},
+		{100, 2, 10},
+		{101, 2, 11},
+		{1 << 40, 40, 2},
+		{7, 1, 7},
+		{0, 5, 1},
+		{1000000, 1, 1000000},
+	}
+	for _, tt := range tests {
+		if got := RootCeil(tt.x, tt.k); got != tt.w {
+			t.Errorf("RootCeil(%d,%d)=%d want %d", tt.x, tt.k, got, tt.w)
+		}
+	}
+}
+
+// TestRootCeilProperty checks the defining inequalities r^k >= x and
+// (r-1)^k < x on random inputs.
+func TestRootCeilProperty(t *testing.T) {
+	f := func(x int64, k uint8) bool {
+		if x < 0 {
+			x = -(x + 1)
+		}
+		x = x%(1<<45) + 1
+		kk := int(k%12) + 1
+		r := RootCeil(x, kk)
+		if r < 1 {
+			return false
+		}
+		if !powSatAtLeast(r, kk, x) {
+			return false
+		}
+		if r > 1 && powSatAtLeast(r-1, kk, x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISqrt(t *testing.T) {
+	tests := []struct{ x, w int64 }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4},
+		{1 << 40, 1 << 20}, {(1 << 20) * (1 << 20), 1 << 20},
+		{math.MaxInt64, 3037000499},
+	}
+	for _, tt := range tests {
+		if got := ISqrt(tt.x); got != tt.w {
+			t.Errorf("ISqrt(%d)=%d want %d", tt.x, got, tt.w)
+		}
+	}
+}
+
+func TestISqrtProperty(t *testing.T) {
+	f := func(x int64) bool {
+		if x < 0 {
+			x = -(x + 1)
+		}
+		x %= 1 << 60 // keep (r+1)^2 inside int64
+		r := ISqrt(x)
+		return r*r <= x && (r+1)*(r+1) > x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

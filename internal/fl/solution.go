@@ -1,0 +1,143 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unassigned marks a client that has no facility in Solution.Assign.
+const Unassigned = -1
+
+// Solution is a (possibly infeasible) answer to a UFL instance: which
+// facilities are open and which facility each client connects to.
+type Solution struct {
+	Open   []bool // len M
+	Assign []int  // len NC; facility index or Unassigned
+}
+
+// NewSolution returns an empty solution (nothing open, nothing assigned)
+// shaped for inst.
+func NewSolution(inst *Instance) *Solution {
+	s := &Solution{
+		Open:   make([]bool, inst.M()),
+		Assign: make([]int, inst.NC()),
+	}
+	for j := range s.Assign {
+		s.Assign[j] = Unassigned
+	}
+	return s
+}
+
+// Clone returns a deep copy of s.
+func (s *Solution) Clone() *Solution {
+	return &Solution{
+		Open:   append([]bool(nil), s.Open...),
+		Assign: append([]int(nil), s.Assign...),
+	}
+}
+
+// OpenCount returns the number of open facilities.
+func (s *Solution) OpenCount() int {
+	n := 0
+	for _, o := range s.Open {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// OpeningCost returns the total opening cost of s on inst.
+func (s *Solution) OpeningCost(inst *Instance) int64 {
+	var sum int64
+	for i, o := range s.Open {
+		if o {
+			sum = AddSat(sum, inst.FacilityCost(i))
+		}
+	}
+	return sum
+}
+
+// ConnectionCost returns the total connection cost of s on inst. Unassigned
+// clients and assignments along non-existent edges contribute nothing; use
+// Validate to detect them.
+func (s *Solution) ConnectionCost(inst *Instance) int64 {
+	var sum int64
+	for j, i := range s.Assign {
+		if i == Unassigned {
+			continue
+		}
+		if c, ok := inst.Cost(i, j); ok {
+			sum = AddSat(sum, c)
+		}
+	}
+	return sum
+}
+
+// Cost returns the total cost (opening + connection) of s on inst.
+func (s *Solution) Cost(inst *Instance) int64 {
+	return AddSat(s.OpeningCost(inst), s.ConnectionCost(inst))
+}
+
+// Validate checks that s is a feasible solution for inst: shapes match,
+// every client is assigned, every assignment targets an open facility, and
+// every assignment follows an existing edge.
+func Validate(inst *Instance, s *Solution) error {
+	if s == nil {
+		return errors.New("fl: nil solution")
+	}
+	if len(s.Open) != inst.M() {
+		return fmt.Errorf("fl: solution has %d facilities, instance has %d", len(s.Open), inst.M())
+	}
+	if len(s.Assign) != inst.NC() {
+		return fmt.Errorf("fl: solution has %d clients, instance has %d", len(s.Assign), inst.NC())
+	}
+	for j, i := range s.Assign {
+		switch {
+		case i == Unassigned:
+			return fmt.Errorf("fl: client %d is unassigned", j)
+		case i < 0 || i >= inst.M():
+			return fmt.Errorf("fl: client %d assigned to invalid facility %d", j, i)
+		case !s.Open[i]:
+			return fmt.Errorf("fl: client %d assigned to closed facility %d", j, i)
+		}
+		if _, ok := inst.Cost(i, j); !ok {
+			return fmt.Errorf("fl: client %d assigned to facility %d with no edge", j, i)
+		}
+	}
+	return nil
+}
+
+// Reassign redirects every client to its cheapest open facility and closes
+// facilities that end up serving nobody (when closing them is free or they
+// serve nobody anyway). It never increases cost and returns the improved
+// solution; s itself is not modified.
+func Reassign(inst *Instance, s *Solution) *Solution {
+	out := s.Clone()
+	used := make([]bool, inst.M())
+	for j := 0; j < inst.NC(); j++ {
+		best := Unassigned
+		var bestCost int64
+		for _, e := range inst.ClientEdges(j) {
+			if out.Open[e.To] {
+				best, bestCost = e.To, e.Cost
+				break // edges are sorted by ascending cost
+			}
+		}
+		if best == Unassigned {
+			// Keep the previous assignment (possibly invalid) untouched.
+			best = out.Assign[j]
+			_ = bestCost
+		}
+		out.Assign[j] = best
+		if best != Unassigned {
+			used[best] = true
+		}
+	}
+	for i := range out.Open {
+		if out.Open[i] && !used[i] {
+			out.Open[i] = false
+		}
+	}
+	return out
+}

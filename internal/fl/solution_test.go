@@ -1,0 +1,200 @@
+package fl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSolutionShape(t *testing.T) {
+	inst := tiny(t)
+	s := NewSolution(inst)
+	if len(s.Open) != 2 || len(s.Assign) != 3 {
+		t.Fatalf("shape = (%d,%d)", len(s.Open), len(s.Assign))
+	}
+	for j, a := range s.Assign {
+		if a != Unassigned {
+			t.Errorf("Assign[%d] = %d, want Unassigned", j, a)
+		}
+	}
+	if s.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d", s.OpenCount())
+	}
+}
+
+func TestSolutionCosts(t *testing.T) {
+	inst := tiny(t)
+	s := NewSolution(inst)
+	s.Open[0] = true
+	s.Open[1] = true
+	s.Assign[0] = 0 // cost 1
+	s.Assign[1] = 1 // cost 1
+	s.Assign[2] = 1 // cost 2
+	if got := s.OpeningCost(inst); got != 14 {
+		t.Errorf("OpeningCost = %d, want 14", got)
+	}
+	if got := s.ConnectionCost(inst); got != 4 {
+		t.Errorf("ConnectionCost = %d, want 4", got)
+	}
+	if got := s.Cost(inst); got != 18 {
+		t.Errorf("Cost = %d, want 18", got)
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	inst := tiny(t)
+	valid := func() *Solution {
+		s := NewSolution(inst)
+		s.Open[0], s.Open[1] = true, true
+		s.Assign[0], s.Assign[1], s.Assign[2] = 0, 1, 1
+		return s
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*Solution)
+		wantErr string
+	}{
+		{"unassigned client", func(s *Solution) { s.Assign[1] = Unassigned }, "unassigned"},
+		{"invalid facility", func(s *Solution) { s.Assign[1] = 99 }, "invalid facility"},
+		{"negative facility", func(s *Solution) { s.Assign[1] = -3 }, "invalid facility"},
+		{"closed facility", func(s *Solution) { s.Open[1] = false }, "closed facility"},
+		{"no edge", func(s *Solution) { s.Assign[0] = 1 }, "no edge"},
+		{"wrong open len", func(s *Solution) { s.Open = s.Open[:1] }, "facilities"},
+		{"wrong assign len", func(s *Solution) { s.Assign = s.Assign[:2] }, "clients"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := valid()
+			tt.mutate(s)
+			err := Validate(inst, s)
+			if err == nil {
+				t.Fatal("Validate passed, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+	if err := Validate(inst, nil); err == nil {
+		t.Fatal("nil solution should not validate")
+	}
+}
+
+func TestClone(t *testing.T) {
+	inst := tiny(t)
+	s := NewSolution(inst)
+	s.Open[0] = true
+	s.Assign[0] = 0
+	c := s.Clone()
+	c.Open[0] = false
+	c.Assign[0] = Unassigned
+	if !s.Open[0] || s.Assign[0] != 0 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestReassignImproves(t *testing.T) {
+	inst := tiny(t)
+	s := NewSolution(inst)
+	s.Open[0], s.Open[1] = true, true
+	// Deliberately bad: client 1 pays 2 at facility 0 instead of 1 at 1;
+	// client 2 pays 9 at facility 0 instead of 2 at 1.
+	s.Assign[0], s.Assign[1], s.Assign[2] = 0, 0, 0
+	before := s.Cost(inst)
+	improved := Reassign(inst, s)
+	after := improved.Cost(inst)
+	if after > before {
+		t.Fatalf("Reassign increased cost: %d -> %d", before, after)
+	}
+	if err := Validate(inst, improved); err != nil {
+		t.Fatalf("Reassign output invalid: %v", err)
+	}
+	// Original must be untouched.
+	if s.Assign[1] != 0 {
+		t.Fatal("Reassign mutated its input")
+	}
+	// Facility 0 still serves client 0; facility 1 serves 1 and 2.
+	if improved.Assign[1] != 1 || improved.Assign[2] != 1 {
+		t.Errorf("assignments after reassign: %v", improved.Assign)
+	}
+}
+
+func TestReassignClosesUnused(t *testing.T) {
+	inst := tiny(t)
+	s := NewSolution(inst)
+	s.Open[0], s.Open[1] = true, true
+	s.Assign[0], s.Assign[1], s.Assign[2] = 0, 0, 0
+	// Facility 1 is cheaper for clients 1,2 so facility 0 keeps client 0;
+	// nothing uses facility 1 in the input but reassign moves clients to it.
+	improved := Reassign(inst, s)
+	if !improved.Open[0] || !improved.Open[1] {
+		t.Fatalf("open set after reassign: %v", improved.Open)
+	}
+
+	// Now an instance where one facility ends up unused and gets closed.
+	inst2 := mustInstance(t, "two", []int64{5, 5}, 1, []RawEdge{
+		{Facility: 0, Client: 0, Cost: 1},
+		{Facility: 1, Client: 0, Cost: 2},
+	})
+	s2 := NewSolution(inst2)
+	s2.Open[0], s2.Open[1] = true, true
+	s2.Assign[0] = 1
+	improved2 := Reassign(inst2, s2)
+	if improved2.Open[1] {
+		t.Fatal("unused facility 1 should be closed")
+	}
+	if improved2.Assign[0] != 0 {
+		t.Fatalf("client should move to facility 0, got %d", improved2.Assign[0])
+	}
+}
+
+// TestReassignNeverIncreasesCost property-tests Reassign on random valid
+// solutions of random instances.
+func TestReassignNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(6) + 1
+		nc := rng.Intn(10) + 1
+		fac := make([]int64, m)
+		for i := range fac {
+			fac[i] = rng.Int63n(100)
+		}
+		var edges []RawEdge
+		for j := 0; j < nc; j++ {
+			deg := rng.Intn(m) + 1
+			perm := rng.Perm(m)
+			for _, i := range perm[:deg] {
+				edges = append(edges, RawEdge{Facility: i, Client: j, Cost: rng.Int63n(50)})
+			}
+		}
+		inst, err := New("prop", fac, nc, edges)
+		if err != nil {
+			return false
+		}
+		// Random valid solution: open everything, assign each client to a
+		// random incident facility.
+		s := NewSolution(inst)
+		for i := range s.Open {
+			s.Open[i] = true
+		}
+		for j := 0; j < nc; j++ {
+			es := inst.ClientEdges(j)
+			s.Assign[j] = es[rng.Intn(len(es))].To
+		}
+		if err := Validate(inst, s); err != nil {
+			return false
+		}
+		improved := Reassign(inst, s)
+		if err := Validate(inst, improved); err != nil {
+			return false
+		}
+		return improved.Cost(inst) <= s.Cost(inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

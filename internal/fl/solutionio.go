@@ -1,0 +1,114 @@
+package fl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text solution format, line oriented and paired with the instance
+// format of io.go:
+//
+//	sol <m> <nc>
+//	o <i>          (one per open facility)
+//	a <j> <i>      (one per client: j assigned to facility i)
+//
+// Blank lines and '#' comments are ignored.
+
+// WriteSolution serializes sol in the text solution format.
+func WriteSolution(w io.Writer, sol *Solution) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "sol %d %d\n", len(sol.Open), len(sol.Assign))
+	for i, open := range sol.Open {
+		if open {
+			fmt.Fprintf(bw, "o %d\n", i)
+		}
+	}
+	for j, i := range sol.Assign {
+		if i != Unassigned {
+			fmt.Fprintf(bw, "a %d %d\n", j, i)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSolution parses the text solution format. The result is not
+// validated against any instance; pair with Validate.
+func ReadSolution(r io.Reader) (*Solution, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		sol       *Solution
+		headerSet bool
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "sol":
+			if headerSet {
+				return nil, fmt.Errorf("fl: line %d: duplicate solution header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("fl: line %d: want 'sol <m> <nc>'", lineNo)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil || m <= 0 || m > 1<<24 {
+				return nil, fmt.Errorf("fl: line %d: bad facility count %q", lineNo, fields[1])
+			}
+			nc, err := strconv.Atoi(fields[2])
+			if err != nil || nc < 0 || nc > 1<<24 {
+				return nil, fmt.Errorf("fl: line %d: bad client count %q", lineNo, fields[2])
+			}
+			sol = &Solution{Open: make([]bool, m), Assign: make([]int, nc)}
+			for j := range sol.Assign {
+				sol.Assign[j] = Unassigned
+			}
+			headerSet = true
+		case "o":
+			if !headerSet {
+				return nil, fmt.Errorf("fl: line %d: 'o' before header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fl: line %d: want 'o <i>'", lineNo)
+			}
+			i, err := strconv.Atoi(fields[1])
+			if err != nil || i < 0 || i >= len(sol.Open) {
+				return nil, fmt.Errorf("fl: line %d: bad facility index %q", lineNo, fields[1])
+			}
+			sol.Open[i] = true
+		case "a":
+			if !headerSet {
+				return nil, fmt.Errorf("fl: line %d: 'a' before header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("fl: line %d: want 'a <j> <i>'", lineNo)
+			}
+			j, err := strconv.Atoi(fields[1])
+			if err != nil || j < 0 || j >= len(sol.Assign) {
+				return nil, fmt.Errorf("fl: line %d: bad client index %q", lineNo, fields[1])
+			}
+			i, err := strconv.Atoi(fields[2])
+			if err != nil || i < 0 || i >= len(sol.Open) {
+				return nil, fmt.Errorf("fl: line %d: bad facility index %q", lineNo, fields[2])
+			}
+			sol.Assign[j] = i
+		default:
+			return nil, fmt.Errorf("fl: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fl: read solution: %w", err)
+	}
+	if !headerSet {
+		return nil, fmt.Errorf("fl: missing 'sol' header")
+	}
+	return sol, nil
+}

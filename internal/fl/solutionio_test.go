@@ -1,0 +1,78 @@
+package fl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSolutionRoundTrip(t *testing.T) {
+	inst := tiny(t)
+	sol := NewSolution(inst)
+	sol.Open[0], sol.Open[1] = true, true
+	sol.Assign[0], sol.Assign[1], sol.Assign[2] = 0, 1, 1
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost(inst) != sol.Cost(inst) {
+		t.Fatalf("cost changed: %d -> %d", sol.Cost(inst), back.Cost(inst))
+	}
+	for j := range sol.Assign {
+		if back.Assign[j] != sol.Assign[j] {
+			t.Fatalf("assign[%d] %d != %d", j, back.Assign[j], sol.Assign[j])
+		}
+	}
+}
+
+func TestSolutionRoundTripPartial(t *testing.T) {
+	// Unassigned clients and closed facilities must survive the trip.
+	sol := &Solution{Open: []bool{false, true}, Assign: []int{Unassigned, 1}}
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Assign[0] != Unassigned || back.Assign[1] != 1 || back.Open[0] || !back.Open[1] {
+		t.Fatalf("partial solution mangled: %+v", back)
+	}
+}
+
+func TestReadSolutionErrors(t *testing.T) {
+	tests := []struct {
+		name, text, wantErr string
+	}{
+		{"no header", "o 0\n", "before header"},
+		{"missing header", "# empty\n", "missing 'sol'"},
+		{"dup header", "sol 1 1\nsol 1 1\n", "duplicate"},
+		{"bad m", "sol x 1\n", "bad facility count"},
+		{"bad nc", "sol 1 x\n", "bad client count"},
+		{"short o", "sol 1 1\no\n", "want 'o"},
+		{"o out of range", "sol 1 1\no 5\n", "bad facility index"},
+		{"short a", "sol 1 1\na 0\n", "want 'a"},
+		{"a bad client", "sol 1 1\na 9 0\n", "bad client index"},
+		{"a bad facility", "sol 1 1\na 0 9\n", "bad facility index"},
+		{"unknown", "sol 1 1\nq 1\n", "unknown directive"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadSolution(strings.NewReader(tt.text))
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package fl
+
+import "fmt"
+
+// Stats summarizes an instance's shape; the benchmark harness prints it
+// alongside every experiment so result tables are self-describing.
+type Stats struct {
+	Name          string
+	M             int
+	NC            int
+	Edges         int
+	MinClientDeg  int
+	MaxClientDeg  int
+	MinFacCost    int64
+	MaxFacCost    int64
+	MinEdgeCost   int64
+	MaxEdgeCost   int64
+	Spread        int64
+	Connectable   bool
+	TotalFacCost  int64
+	TotalEdgeCost int64
+}
+
+// ComputeStats scans inst once and returns its summary.
+func ComputeStats(inst *Instance) Stats {
+	st := Stats{
+		Name:        inst.Name(),
+		M:           inst.M(),
+		NC:          inst.NC(),
+		Edges:       inst.EdgeCount(),
+		Spread:      inst.Spread(),
+		Connectable: inst.Connectable(),
+	}
+	first := true
+	for i := 0; i < st.M; i++ {
+		f := inst.FacilityCost(i)
+		st.TotalFacCost = AddSat(st.TotalFacCost, f)
+		if first {
+			st.MinFacCost, st.MaxFacCost = f, f
+			first = false
+			continue
+		}
+		if f < st.MinFacCost {
+			st.MinFacCost = f
+		}
+		if f > st.MaxFacCost {
+			st.MaxFacCost = f
+		}
+	}
+	firstEdge := true
+	for j := 0; j < st.NC; j++ {
+		es := inst.ClientEdges(j)
+		d := len(es)
+		if j == 0 {
+			st.MinClientDeg, st.MaxClientDeg = d, d
+		} else {
+			if d < st.MinClientDeg {
+				st.MinClientDeg = d
+			}
+			if d > st.MaxClientDeg {
+				st.MaxClientDeg = d
+			}
+		}
+		for _, e := range es {
+			st.TotalEdgeCost = AddSat(st.TotalEdgeCost, e.Cost)
+			if firstEdge {
+				st.MinEdgeCost, st.MaxEdgeCost = e.Cost, e.Cost
+				firstEdge = false
+				continue
+			}
+			if e.Cost < st.MinEdgeCost {
+				st.MinEdgeCost = e.Cost
+			}
+			if e.Cost > st.MaxEdgeCost {
+				st.MaxEdgeCost = e.Cost
+			}
+		}
+	}
+	return st
+}
+
+// String renders the summary on one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: m=%d nc=%d edges=%d deg=[%d,%d] f=[%d,%d] c=[%d,%d] rho=%d",
+		st.Name, st.M, st.NC, st.Edges,
+		st.MinClientDeg, st.MaxClientDeg,
+		st.MinFacCost, st.MaxFacCost,
+		st.MinEdgeCost, st.MaxEdgeCost, st.Spread)
+}

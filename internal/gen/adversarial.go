@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfl/internal/fl"
+)
+
+// SetCoverLike describes the classic hard family for greedy star selection:
+// facilities behave like sets over a ground set of clients, opening costs
+// are uniform, and connection costs are zero on set membership edges. On
+// such instances UFL specializes to weighted set cover, the regime where the
+// O(log n) sequential greedy bound is tight and where the distributed
+// algorithm's class quantization is most visible.
+type SetCoverLike struct {
+	NC int // ground-set size (clients)
+	// Sets is the number of random sets (facilities) in addition to the
+	// 'nested trap' family below. Defaults to NC/4.
+	Sets int
+	// SetCost is each random set's opening cost. Defaults to 100.
+	SetCost int64
+	// NestedTrap, when true, adds the geometric family that forces the
+	// greedy algorithm to pay Theta(log n) * OPT: one cheap set covering
+	// everything plus nested halves that look locally better.
+	NestedTrap bool
+}
+
+// Generate builds the instance for seed.
+func (s SetCoverLike) Generate(seed int64) (*fl.Instance, error) {
+	if s.NC <= 0 {
+		return nil, fmt.Errorf("gen: setcover needs positive ground set, got %d", s.NC)
+	}
+	if s.Sets == 0 {
+		s.Sets = s.NC / 4
+		if s.Sets < 2 {
+			s.Sets = 2
+		}
+	}
+	if s.SetCost == 0 {
+		s.SetCost = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		facCost []int64
+		edges   []fl.RawEdge
+	)
+	addSet := func(cost int64, members []int) {
+		i := len(facCost)
+		facCost = append(facCost, cost)
+		for _, j := range members {
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: 1})
+		}
+	}
+	// Random sets: each covers a random ~NC/Sets sized subset.
+	target := s.NC/s.Sets + 1
+	for k := 0; k < s.Sets; k++ {
+		var members []int
+		for j := 0; j < s.NC; j++ {
+			if rng.Intn(s.Sets) == 0 {
+				members = append(members, j)
+			}
+		}
+		for len(members) < target {
+			members = append(members, rng.Intn(s.NC))
+		}
+		members = dedupInts(members)
+		addSet(s.SetCost, members)
+	}
+	// Safety set: covers everything at a high cost, guaranteeing
+	// feasibility no matter what the random sets missed.
+	all := make([]int, s.NC)
+	for j := range all {
+		all[j] = j
+	}
+	addSet(s.SetCost*int64(s.Sets), all)
+	if s.NestedTrap {
+		// The greedy lower-bound family: the whole ground set at cost
+		// 1+epsilon (here SetCost+1) plus disjoint halves, quarters, ...
+		// each at cost SetCost, so greedy prefers the small pieces.
+		addSet(s.SetCost+1, all)
+		lo, size := 0, s.NC/2
+		for size >= 1 {
+			hi := lo + size
+			if hi > s.NC {
+				hi = s.NC
+			}
+			piece := make([]int, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				piece = append(piece, j)
+			}
+			if len(piece) > 0 {
+				addSet(s.SetCost, piece)
+			}
+			lo = hi
+			size /= 2
+			if lo >= s.NC {
+				break
+			}
+		}
+	}
+	name := fmt.Sprintf("setcover-nc%d-sets%d-s%d", s.NC, s.Sets, seed)
+	return fl.New(name, facCost, s.NC, edges)
+}
+
+// Star describes the degenerate instance with one hub facility that is
+// cheap for everyone and many decoys; it exercises symmetry breaking (every
+// client wants the same facility) and tie handling.
+type Star struct {
+	M, NC int
+	// HubEdge and DecoyEdge are the connection costs to the hub (facility
+	// 0) and to every decoy. Defaults 1 and 50.
+	HubEdge, DecoyEdge int64
+	// HubCost and DecoyCost are opening costs. Defaults 10 and 10.
+	HubCost, DecoyCost int64
+}
+
+// Generate builds the instance; Star is fully deterministic, the seed only
+// names the instance.
+func (s Star) Generate(seed int64) (*fl.Instance, error) {
+	if s.M <= 0 || s.NC <= 0 {
+		return nil, fmt.Errorf("gen: star needs positive sizes, got m=%d nc=%d", s.M, s.NC)
+	}
+	if s.HubEdge == 0 {
+		s.HubEdge = 1
+	}
+	if s.DecoyEdge == 0 {
+		s.DecoyEdge = 50
+	}
+	if s.HubCost == 0 {
+		s.HubCost = 10
+	}
+	if s.DecoyCost == 0 {
+		s.DecoyCost = 10
+	}
+	facCost := make([]int64, s.M)
+	facCost[0] = s.HubCost
+	for i := 1; i < s.M; i++ {
+		facCost[i] = s.DecoyCost
+	}
+	edges := make([]fl.RawEdge, 0, s.M*s.NC)
+	for j := 0; j < s.NC; j++ {
+		edges = append(edges, fl.RawEdge{Facility: 0, Client: j, Cost: s.HubEdge})
+		for i := 1; i < s.M; i++ {
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: s.DecoyEdge})
+		}
+	}
+	name := fmt.Sprintf("star-m%d-nc%d-s%d", s.M, s.NC, seed)
+	return fl.New(name, facCost, s.NC, edges)
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dfl/internal/fl"
+)
+
+// Euclidean describes a metric instance: facilities and clients are points
+// in the plane and connection costs are rounded Euclidean distances. Metric
+// instances are where the sequential baselines (JV, JMS, local search) have
+// constant-factor guarantees, so this family anchors the comparison table.
+type Euclidean struct {
+	M, NC int
+	// Width is the side length of the square region; costs are distances
+	// rounded to integers, so Width also sets the cost resolution.
+	// Defaults to 1000.
+	Width float64
+	// FacCostMin/Max bound facility opening costs. Default [500, 5000].
+	FacCostMin, FacCostMax int64
+	// Radius, when positive, keeps only edges of length <= Radius (plus the
+	// nearest facility per client, for feasibility). Zero keeps all edges.
+	Radius float64
+}
+
+// Generate builds the instance for seed.
+func (e Euclidean) Generate(seed int64) (*fl.Instance, error) {
+	if e.M <= 0 || e.NC <= 0 {
+		return nil, fmt.Errorf("gen: euclidean needs positive sizes, got m=%d nc=%d", e.M, e.NC)
+	}
+	if e.Width == 0 {
+		e.Width = 1000
+	}
+	if e.FacCostMax == 0 {
+		e.FacCostMin, e.FacCostMax = 500, 5000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	fpts := make([]pt, e.M)
+	for i := range fpts {
+		fpts[i] = pt{rng.Float64() * e.Width, rng.Float64() * e.Width}
+	}
+	cpts := make([]pt, e.NC)
+	for j := range cpts {
+		cpts[j] = pt{rng.Float64() * e.Width, rng.Float64() * e.Width}
+	}
+	facCost := make([]int64, e.M)
+	for i := range facCost {
+		facCost[i] = randCost(rng, e.FacCostMin, e.FacCostMax)
+	}
+	dist := func(a, b pt) float64 { return math.Hypot(a.x-b.x, a.y-b.y) }
+	edges := make([]fl.RawEdge, 0, e.M*e.NC)
+	for j := 0; j < e.NC; j++ {
+		nearest, nearestD := -1, math.Inf(1)
+		for i := 0; i < e.M; i++ {
+			if d := dist(fpts[i], cpts[j]); d < nearestD {
+				nearest, nearestD = i, d
+			}
+		}
+		for i := 0; i < e.M; i++ {
+			d := dist(fpts[i], cpts[j])
+			if e.Radius > 0 && d > e.Radius && i != nearest {
+				continue
+			}
+			c := int64(math.Round(d))
+			if c < 1 {
+				c = 1
+			}
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: c})
+		}
+	}
+	name := fmt.Sprintf("euclidean-m%d-nc%d-s%d", e.M, e.NC, seed)
+	return fl.New(name, facCost, e.NC, edges)
+}
+
+// Clustered describes a metric instance whose clients form Gaussian blobs
+// around cluster centres, with one cheap facility near each centre and
+// expensive fillers elsewhere. Good algorithms should open roughly one
+// facility per cluster, so the family makes approximation quality visible.
+type Clustered struct {
+	M, NC    int
+	Clusters int
+	// Width of the region; Sigma of the blobs. Defaults: 1000 and Width/20.
+	Width, Sigma float64
+	// Opening costs: CentreCost for the facility seeded at each cluster
+	// centre, FillerCost for the rest. Defaults 1000 and 8000.
+	CentreCost, FillerCost int64
+}
+
+// Generate builds the instance for seed.
+func (c Clustered) Generate(seed int64) (*fl.Instance, error) {
+	if c.M <= 0 || c.NC <= 0 {
+		return nil, fmt.Errorf("gen: clustered needs positive sizes, got m=%d nc=%d", c.M, c.NC)
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 5
+	}
+	if c.Clusters > c.M {
+		c.Clusters = c.M
+	}
+	if c.Width == 0 {
+		c.Width = 1000
+	}
+	if c.Sigma == 0 {
+		c.Sigma = c.Width / 20
+	}
+	if c.CentreCost == 0 {
+		c.CentreCost = 1000
+	}
+	if c.FillerCost == 0 {
+		c.FillerCost = 8000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	centres := make([]pt, c.Clusters)
+	for k := range centres {
+		centres[k] = pt{rng.Float64() * c.Width, rng.Float64() * c.Width}
+	}
+	fpts := make([]pt, c.M)
+	facCost := make([]int64, c.M)
+	for i := 0; i < c.M; i++ {
+		if i < c.Clusters {
+			// One facility jittered near each centre, cheap to open.
+			fpts[i] = pt{
+				centres[i].x + rng.NormFloat64()*c.Sigma/4,
+				centres[i].y + rng.NormFloat64()*c.Sigma/4,
+			}
+			facCost[i] = c.CentreCost
+		} else {
+			fpts[i] = pt{rng.Float64() * c.Width, rng.Float64() * c.Width}
+			facCost[i] = c.FillerCost
+		}
+	}
+	cpts := make([]pt, c.NC)
+	for j := range cpts {
+		k := rng.Intn(c.Clusters)
+		cpts[j] = pt{
+			centres[k].x + rng.NormFloat64()*c.Sigma,
+			centres[k].y + rng.NormFloat64()*c.Sigma,
+		}
+	}
+	edges := make([]fl.RawEdge, 0, c.M*c.NC)
+	for j := 0; j < c.NC; j++ {
+		for i := 0; i < c.M; i++ {
+			d := math.Hypot(fpts[i].x-cpts[j].x, fpts[i].y-cpts[j].y)
+			cost := int64(math.Round(d))
+			if cost < 1 {
+				cost = 1
+			}
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: cost})
+		}
+	}
+	name := fmt.Sprintf("clustered-m%d-nc%d-k%d-s%d", c.M, c.NC, c.Clusters, seed)
+	return fl.New(name, facCost, c.NC, edges)
+}
+
+// Line describes a 1-D metric instance: facilities and clients sit on a
+// line segment. Line instances have simple optimal structure, making them
+// useful in tests and in the exact-ratio audit.
+type Line struct {
+	M, NC  int
+	Length int64 // defaults to 10000
+	// FacCost is the uniform opening cost. Defaults to Length/10.
+	FacCost int64
+}
+
+// Generate builds the instance for seed.
+func (l Line) Generate(seed int64) (*fl.Instance, error) {
+	if l.M <= 0 || l.NC <= 0 {
+		return nil, fmt.Errorf("gen: line needs positive sizes, got m=%d nc=%d", l.M, l.NC)
+	}
+	if l.Length == 0 {
+		l.Length = 10000
+	}
+	if l.FacCost == 0 {
+		l.FacCost = l.Length / 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fpos := make([]int64, l.M)
+	for i := range fpos {
+		fpos[i] = rng.Int63n(l.Length + 1)
+	}
+	facCost := make([]int64, l.M)
+	for i := range facCost {
+		facCost[i] = l.FacCost
+	}
+	edges := make([]fl.RawEdge, 0, l.M*l.NC)
+	for j := 0; j < l.NC; j++ {
+		cpos := rng.Int63n(l.Length + 1)
+		for i := 0; i < l.M; i++ {
+			d := fpos[i] - cpos
+			if d < 0 {
+				d = -d
+			}
+			if d < 1 {
+				d = 1
+			}
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: d})
+		}
+	}
+	name := fmt.Sprintf("line-m%d-nc%d-s%d", l.M, l.NC, seed)
+	return fl.New(name, facCost, l.NC, edges)
+}

@@ -1,0 +1,158 @@
+// Package gen produces synthetic facility-location workloads. The target
+// paper is a theory paper with no published datasets, so the benchmark
+// harness drives every experiment from these generators; each family
+// stresses a different term of the analytical bound (instance size m,
+// cost spread rho, metric vs non-metric structure).
+//
+// All generators are deterministic functions of their parameters and seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dfl/internal/fl"
+)
+
+// Uniform describes a non-metric instance with independently random costs.
+// It is the workhorse family: non-metric UFL is the paper's setting.
+type Uniform struct {
+	M  int // facilities
+	NC int // clients
+	// Density is the probability of each (facility, client) edge existing.
+	// Every client additionally keeps at least MinDegree edges so instances
+	// stay feasible. 1.0 builds a complete bipartite graph.
+	Density   float64
+	MinDegree int
+	// Cost ranges, inclusive. Zero values default to [1, 1000] for edges
+	// and [100, 10000] for facilities.
+	EdgeCostMin, EdgeCostMax int64
+	FacCostMin, FacCostMax   int64
+}
+
+func (u Uniform) defaults() Uniform {
+	if u.Density == 0 {
+		u.Density = 1
+	}
+	if u.MinDegree == 0 {
+		u.MinDegree = 1
+	}
+	if u.EdgeCostMax == 0 {
+		u.EdgeCostMin, u.EdgeCostMax = 1, 1000
+	}
+	if u.FacCostMax == 0 {
+		u.FacCostMin, u.FacCostMax = 100, 10000
+	}
+	return u
+}
+
+// Generate builds the instance for seed.
+func (u Uniform) Generate(seed int64) (*fl.Instance, error) {
+	u = u.defaults()
+	if u.M <= 0 || u.NC <= 0 {
+		return nil, fmt.Errorf("gen: uniform needs positive sizes, got m=%d nc=%d", u.M, u.NC)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	facCost := make([]int64, u.M)
+	for i := range facCost {
+		facCost[i] = randCost(rng, u.FacCostMin, u.FacCostMax)
+	}
+	edges := make([]fl.RawEdge, 0, int(float64(u.M*u.NC)*u.Density)+u.NC*u.MinDegree)
+	for j := 0; j < u.NC; j++ {
+		present := make([]bool, u.M)
+		deg := 0
+		for i := 0; i < u.M; i++ {
+			if rng.Float64() < u.Density {
+				present[i] = true
+				deg++
+			}
+		}
+		for deg < u.MinDegree && deg < u.M {
+			i := rng.Intn(u.M)
+			if !present[i] {
+				present[i] = true
+				deg++
+			}
+		}
+		for i := 0; i < u.M; i++ {
+			if present[i] {
+				edges = append(edges, fl.RawEdge{
+					Facility: i,
+					Client:   j,
+					Cost:     randCost(rng, u.EdgeCostMin, u.EdgeCostMax),
+				})
+			}
+		}
+	}
+	name := fmt.Sprintf("uniform-m%d-nc%d-d%.2f-s%d", u.M, u.NC, u.Density, seed)
+	return fl.New(name, facCost, u.NC, edges)
+}
+
+// Spread describes a uniform non-metric family whose coefficient spread rho
+// is controlled exactly: edge costs are drawn log-uniformly from [1, Rho]
+// and facility costs from [Rho/10, Rho] (min 1), so fl.Instance.Spread()
+// tracks Rho closely. Used by the Figure-1 experiment.
+type Spread struct {
+	M, NC int
+	Rho   int64
+}
+
+// Generate builds the instance for seed.
+func (s Spread) Generate(seed int64) (*fl.Instance, error) {
+	if s.M <= 0 || s.NC <= 0 {
+		return nil, fmt.Errorf("gen: spread needs positive sizes, got m=%d nc=%d", s.M, s.NC)
+	}
+	if s.Rho < 1 {
+		return nil, fmt.Errorf("gen: spread needs rho >= 1, got %d", s.Rho)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	logUniform := func(lo, hi int64) int64 {
+		if lo < 1 {
+			lo = 1
+		}
+		if hi <= lo {
+			return lo
+		}
+		v := math.Exp(rng.Float64() * math.Log(float64(hi)/float64(lo)))
+		c := int64(math.Round(float64(lo) * v))
+		if c < lo {
+			c = lo
+		}
+		if c > hi {
+			c = hi
+		}
+		return c
+	}
+	facCost := make([]int64, s.M)
+	for i := range facCost {
+		facCost[i] = logUniform(maxI64(1, s.Rho/10), s.Rho)
+	}
+	edges := make([]fl.RawEdge, 0, s.M*s.NC)
+	for j := 0; j < s.NC; j++ {
+		for i := 0; i < s.M; i++ {
+			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: logUniform(1, s.Rho)})
+		}
+	}
+	// Pin the extremes so the realized spread equals Rho exactly.
+	if len(edges) >= 2 {
+		edges[0].Cost = 1
+		edges[1].Cost = s.Rho
+	}
+	name := fmt.Sprintf("spread-m%d-nc%d-rho%d-s%d", s.M, s.NC, s.Rho, seed)
+	return fl.New(name, facCost, s.NC, edges)
+}
+
+func randCost(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"dfl/internal/fl"
+)
+
+func checkInstance(t *testing.T, g Generator, seed int64, wantM, wantNC int) *fl.Instance {
+	t.Helper()
+	inst, err := g.Generate(seed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if inst.M() != wantM || inst.NC() != wantNC {
+		t.Fatalf("shape (%d,%d), want (%d,%d)", inst.M(), inst.NC(), wantM, wantNC)
+	}
+	if !inst.Connectable() {
+		t.Fatal("generated instance has an isolated client")
+	}
+	return inst
+}
+
+func checkDeterministic(t *testing.T, g Generator) {
+	t.Helper()
+	a, err := g.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() || a.NC() != b.NC() || a.EdgeCount() != b.EdgeCount() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for j := 0; j < a.NC(); j++ {
+		ea, eb := a.ClientEdges(j), b.ClientEdges(j)
+		for k := range ea {
+			if ea[k] != eb[k] {
+				t.Fatalf("same seed, client %d edge %d differs: %v vs %v", j, k, ea[k], eb[k])
+			}
+		}
+	}
+	for i := 0; i < a.M(); i++ {
+		if a.FacilityCost(i) != b.FacilityCost(i) {
+			t.Fatalf("same seed, facility %d cost differs", i)
+		}
+	}
+}
+
+func TestUniformComplete(t *testing.T) {
+	inst := checkInstance(t, Uniform{M: 5, NC: 12}, 1, 5, 12)
+	if inst.EdgeCount() != 60 {
+		t.Fatalf("complete bipartite should have 60 edges, got %d", inst.EdgeCount())
+	}
+	st := fl.ComputeStats(inst)
+	if st.MinEdgeCost < 1 || st.MaxEdgeCost > 1000 {
+		t.Errorf("edge costs out of default range: [%d,%d]", st.MinEdgeCost, st.MaxEdgeCost)
+	}
+	if st.MinFacCost < 100 || st.MaxFacCost > 10000 {
+		t.Errorf("facility costs out of default range: [%d,%d]", st.MinFacCost, st.MaxFacCost)
+	}
+}
+
+func TestUniformSparse(t *testing.T) {
+	inst := checkInstance(t, Uniform{M: 20, NC: 50, Density: 0.1, MinDegree: 2}, 3, 20, 50)
+	st := fl.ComputeStats(inst)
+	if st.MinClientDeg < 2 {
+		t.Errorf("MinDegree violated: %d", st.MinClientDeg)
+	}
+	if inst.EdgeCount() >= 20*50/2 {
+		t.Errorf("sparse instance unexpectedly dense: %d edges", inst.EdgeCount())
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	checkDeterministic(t, Uniform{M: 6, NC: 9, Density: 0.5, MinDegree: 1})
+}
+
+func TestUniformDifferentSeeds(t *testing.T) {
+	a, _ := Uniform{M: 5, NC: 5}.Generate(1)
+	b, _ := Uniform{M: 5, NC: 5}.Generate(2)
+	same := true
+	for j := 0; j < 5 && same; j++ {
+		ea, eb := a.ClientEdges(j), b.ClientEdges(j)
+		for k := range ea {
+			if ea[k] != eb[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestUniformRejectsBadSizes(t *testing.T) {
+	if _, err := (Uniform{M: 0, NC: 5}).Generate(1); err == nil {
+		t.Fatal("want error for m=0")
+	}
+	if _, err := (Uniform{M: 5, NC: 0}).Generate(1); err == nil {
+		t.Fatal("want error for nc=0")
+	}
+}
+
+func TestSpreadControlsRho(t *testing.T) {
+	for _, rho := range []int64{1, 10, 1000, 100000} {
+		inst := checkInstance(t, Spread{M: 4, NC: 10, Rho: rho}, 5, 4, 10)
+		got := inst.Spread()
+		if rho == 1 {
+			if got != 1 {
+				t.Errorf("rho=1: Spread = %d", got)
+			}
+			continue
+		}
+		if got != rho {
+			t.Errorf("rho=%d: Spread = %d", rho, got)
+		}
+	}
+	if _, err := (Spread{M: 2, NC: 2, Rho: 0}).Generate(1); err == nil {
+		t.Fatal("want error for rho=0")
+	}
+}
+
+func TestEuclideanIsMetricish(t *testing.T) {
+	inst := checkInstance(t, Euclidean{M: 6, NC: 20}, 9, 6, 20)
+	// Complete bipartite by default.
+	if inst.EdgeCount() != 120 {
+		t.Fatalf("edges = %d, want 120", inst.EdgeCount())
+	}
+	// Costs bounded by the diagonal of the default 1000x1000 region.
+	st := fl.ComputeStats(inst)
+	if st.MaxEdgeCost > 1415 {
+		t.Errorf("edge cost exceeds region diagonal: %d", st.MaxEdgeCost)
+	}
+	checkDeterministic(t, Euclidean{M: 6, NC: 20})
+}
+
+func TestEuclideanRadiusSparsifies(t *testing.T) {
+	full := checkInstance(t, Euclidean{M: 10, NC: 40}, 11, 10, 40)
+	sparse := checkInstance(t, Euclidean{M: 10, NC: 40, Radius: 200}, 11, 10, 40)
+	if sparse.EdgeCount() >= full.EdgeCount() {
+		t.Fatalf("radius did not sparsify: %d vs %d", sparse.EdgeCount(), full.EdgeCount())
+	}
+}
+
+func TestClustered(t *testing.T) {
+	inst := checkInstance(t, Clustered{M: 10, NC: 60, Clusters: 3}, 13, 10, 60)
+	// The three seeded centre facilities must be cheap.
+	for i := 0; i < 3; i++ {
+		if inst.FacilityCost(i) != 1000 {
+			t.Errorf("centre facility %d cost = %d, want 1000", i, inst.FacilityCost(i))
+		}
+	}
+	for i := 3; i < 10; i++ {
+		if inst.FacilityCost(i) != 8000 {
+			t.Errorf("filler facility %d cost = %d, want 8000", i, inst.FacilityCost(i))
+		}
+	}
+	checkDeterministic(t, Clustered{M: 10, NC: 60, Clusters: 3})
+}
+
+func TestClusteredCapsClusters(t *testing.T) {
+	inst := checkInstance(t, Clustered{M: 2, NC: 10, Clusters: 9}, 17, 2, 10)
+	_ = inst
+}
+
+func TestLine(t *testing.T) {
+	inst := checkInstance(t, Line{M: 5, NC: 25}, 19, 5, 25)
+	st := fl.ComputeStats(inst)
+	if st.MaxEdgeCost > 10000 {
+		t.Errorf("line distance exceeds length: %d", st.MaxEdgeCost)
+	}
+	if st.MinFacCost != st.MaxFacCost {
+		t.Errorf("line opening costs should be uniform: [%d,%d]", st.MinFacCost, st.MaxFacCost)
+	}
+	checkDeterministic(t, Line{M: 5, NC: 25})
+}
+
+func TestSetCoverLike(t *testing.T) {
+	inst, err := SetCoverLike{NC: 64, Sets: 8, NestedTrap: true}.Generate(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Connectable() {
+		t.Fatal("safety set must guarantee feasibility")
+	}
+	if inst.NC() != 64 {
+		t.Fatalf("nc = %d", inst.NC())
+	}
+	// 8 random sets + safety + whole-ground + nested pieces.
+	if inst.M() < 10 {
+		t.Fatalf("m = %d, want at least random sets + traps", inst.M())
+	}
+	// All membership edges have cost 1.
+	st := fl.ComputeStats(inst)
+	if st.MinEdgeCost != 1 || st.MaxEdgeCost != 1 {
+		t.Errorf("edge costs = [%d,%d], want [1,1]", st.MinEdgeCost, st.MaxEdgeCost)
+	}
+	checkDeterministic(t, SetCoverLike{NC: 32, Sets: 4, NestedTrap: true})
+}
+
+func TestStar(t *testing.T) {
+	inst := checkInstance(t, Star{M: 4, NC: 10}, 29, 4, 10)
+	// Every client's cheapest edge is the hub.
+	for j := 0; j < 10; j++ {
+		e, _ := inst.CheapestEdge(j)
+		if e.To != 0 || e.Cost != 1 {
+			t.Fatalf("client %d cheapest = %v, want hub", j, e)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range FamilyNames() {
+		t.Run(name, func(t *testing.T) {
+			g, err := ByName(name, 6, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := g.Generate(31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inst.Connectable() {
+				t.Fatal("not connectable")
+			}
+			if inst.NC() != 12 {
+				t.Fatalf("nc = %d, want 12", inst.NC())
+			}
+		})
+	}
+	if _, err := ByName("nope", 1, 1); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("ByName(nope) = %v", err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	inst := checkInstance(t, Grid{M: 9, NC: 30}, 37, 9, 30)
+	st := fl.ComputeStats(inst)
+	if st.MinFacCost != st.MaxFacCost {
+		t.Errorf("grid opening costs should be uniform: [%d,%d]", st.MinFacCost, st.MaxFacCost)
+	}
+	// Max L1 distance on a 3x3 lattice of cell 100 is bounded by 2*width.
+	if st.MaxEdgeCost > 600 {
+		t.Errorf("edge cost beyond lattice span: %d", st.MaxEdgeCost)
+	}
+	checkDeterministic(t, Grid{M: 9, NC: 30})
+}
+
+func TestGridNonSquareM(t *testing.T) {
+	// M that is not a perfect square still lays out on the enclosing grid.
+	inst := checkInstance(t, Grid{M: 7, NC: 10}, 41, 7, 10)
+	if inst.EdgeCount() != 70 {
+		t.Fatalf("edges = %d, want 70", inst.EdgeCount())
+	}
+}

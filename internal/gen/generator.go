@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"dfl/internal/fl"
+)
+
+// Generator is a deterministic workload family: same parameters plus same
+// seed yields the same instance.
+type Generator interface {
+	Generate(seed int64) (*fl.Instance, error)
+}
+
+// Compile-time interface checks for every family in the package.
+var (
+	_ Generator = Uniform{}
+	_ Generator = Spread{}
+	_ Generator = Euclidean{}
+	_ Generator = Clustered{}
+	_ Generator = Line{}
+	_ Generator = SetCoverLike{}
+	_ Generator = Star{}
+)
+
+// ByName returns a generator for a named family with the given sizes and
+// default parameters. Recognized names: uniform, sparse, euclidean,
+// clustered, line, setcover, star. Tools use it for their -family flag.
+func ByName(family string, m, nc int) (Generator, error) {
+	switch family {
+	case "uniform":
+		return Uniform{M: m, NC: nc}, nil
+	case "sparse":
+		return Uniform{M: m, NC: nc, Density: 0.1, MinDegree: 2}, nil
+	case "euclidean":
+		return Euclidean{M: m, NC: nc}, nil
+	case "clustered":
+		return Clustered{M: m, NC: nc}, nil
+	case "grid":
+		return Grid{M: m, NC: nc}, nil
+	case "line":
+		return Line{M: m, NC: nc}, nil
+	case "setcover":
+		return SetCoverLike{NC: nc, Sets: m, NestedTrap: true}, nil
+	case "star":
+		return Star{M: m, NC: nc}, nil
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q (want one of %v)", family, FamilyNames())
+	}
+}
+
+// FamilyNames lists the families ByName accepts, sorted.
+func FamilyNames() []string {
+	names := []string{"uniform", "sparse", "euclidean", "clustered", "grid", "line", "setcover", "star"}
+	sort.Strings(names)
+	return names
+}

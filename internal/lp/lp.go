@@ -1,0 +1,279 @@
+// Package lp computes a lower bound on the optimum of a facility-location
+// instance via dual ascent on the standard UFL linear program.
+//
+// The ascent is the phase-1 process of Jain & Vazirani's primal-dual
+// algorithm: every client's dual variable alpha_j grows at unit rate until
+// it is frozen, and facility constraints sum_j max(0, alpha_j - c_ij) <=
+// f_i are maintained with equality at freezing time. The resulting alpha is
+// feasible for the LP dual, so sum_j alpha_j <= OPT_LP <= OPT. The benchmark
+// harness divides measured costs by this bound to report approximation
+// ratios on instances too large for exact search, and package seq reuses
+// the full ascent transcript as phase 1 of Jain-Vazirani.
+package lp
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"dfl/internal/fl"
+)
+
+// Ascent is the transcript of one dual-ascent run.
+type Ascent struct {
+	// Alpha is each client's final dual value (time it froze).
+	Alpha []float64
+	// Witness is, for each client, the facility whose (temporary) opening
+	// froze it. Every client has a witness on feasible instances.
+	Witness []int
+	// TempOpen marks facilities that became fully paid during the ascent.
+	TempOpen []bool
+	// OpenTime is the time a temp-open facility became paid (+Inf otherwise).
+	OpenTime []float64
+	// Contrib[i] lists clients with strictly positive contribution to i at
+	// the end of the ascent, i.e. alpha_j > c_ij.
+	Contrib [][]int
+}
+
+// LowerBound returns floor(sum alpha), a valid lower bound on the optimal
+// integral solution cost.
+func (a *Ascent) LowerBound() int64 {
+	var s float64
+	for _, x := range a.Alpha {
+		s += x
+	}
+	// Guard against accumulated float error pushing the bound above OPT:
+	// shave one ulp-scale epsilon before flooring.
+	return int64(math.Floor(s * (1 - 1e-12)))
+}
+
+// event kinds in the ascent's priority queue.
+const (
+	evEdgeTight = iota + 1
+	evFacilityPaid
+)
+
+type event struct {
+	time    float64
+	kind    int
+	a, b    int // edge: facility a, client b; facility: a, version b
+	heapIdx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx, h[j].heapIdx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// ErrInfeasible is returned for instances where some client has no
+// incident facility.
+var ErrInfeasible = errors.New("lp: instance has a client with no incident facility")
+
+// DualAscent runs the ascent to completion and returns its transcript.
+func DualAscent(inst *fl.Instance) (*Ascent, error) {
+	if !inst.Connectable() {
+		return nil, ErrInfeasible
+	}
+	m, nc := inst.M(), inst.NC()
+
+	type facState struct {
+		open       bool
+		openAt     float64
+		numActive  int     // active clients with a tight edge
+		fixedPaid  float64 // contributions frozen so far
+		lastUpdate float64 // time numActive last changed
+		version    int
+	}
+	type cliState struct {
+		frozen   bool
+		freezeAt float64
+		witness  int
+	}
+	fs := make([]facState, m)
+	cs := make([]cliState, nc)
+	for i := range fs {
+		fs[i].openAt = math.Inf(1)
+	}
+	for j := range cs {
+		cs[j].witness = -1
+	}
+	// tight[i] lists clients whose edge to i is tight (alpha_j >= c_ij at
+	// the time it tightened) — both active and frozen.
+	tight := make([][]int, m)
+	// contribTo[j] lists facilities currently counting j as an ACTIVE
+	// contributor, i.e. facilities whose numActive includes j. Tracking
+	// this explicitly (rather than re-deriving it from edge costs) keeps
+	// the bookkeeping correct when several events share a timestamp.
+	contribTo := make([][]int, nc)
+
+	var h eventHeap
+	for j := 0; j < nc; j++ {
+		for _, e := range inst.ClientEdges(j) {
+			heap.Push(&h, &event{time: float64(e.Cost), kind: evEdgeTight, a: e.To, b: j})
+		}
+	}
+	// paid returns i's accumulated payment at time t.
+	paid := func(i int, t float64) float64 {
+		return fs[i].fixedPaid + float64(fs[i].numActive)*(t-fs[i].lastUpdate)
+	}
+	// schedule pushes i's next predicted fully-paid event.
+	schedule := func(i int, now float64) {
+		if fs[i].open {
+			return
+		}
+		fi := float64(inst.FacilityCost(i))
+		p := paid(i, now)
+		if fs[i].numActive == 0 {
+			if p >= fi-1e-12 {
+				heap.Push(&h, &event{time: now, kind: evFacilityPaid, a: i, b: fs[i].version})
+			}
+			return
+		}
+		t := now + (fi-p)/float64(fs[i].numActive)
+		if t < now {
+			t = now
+		}
+		heap.Push(&h, &event{time: t, kind: evFacilityPaid, a: i, b: fs[i].version})
+	}
+	// touch freezes i's payment accumulation at time t before a change to
+	// numActive or fixedPaid.
+	touch := func(i int, t float64) {
+		fs[i].fixedPaid = paid(i, t)
+		fs[i].lastUpdate = t
+		fs[i].version++
+	}
+	frozenCount := 0
+	var freeze func(j int, t float64, witness int)
+	var openFacility func(i int, t float64)
+	freeze = func(j int, t float64, witness int) {
+		if cs[j].frozen {
+			return
+		}
+		cs[j].frozen = true
+		cs[j].freezeAt = t
+		cs[j].witness = witness
+		frozenCount++
+		// j stops paying every unopened facility it was contributing to.
+		for _, i := range contribTo[j] {
+			if fs[i].open {
+				continue // payment already frozen when i opened
+			}
+			touch(i, t)
+			fs[i].numActive--
+			schedule(i, t)
+		}
+		contribTo[j] = nil
+	}
+	openFacility = func(i int, t float64) {
+		if fs[i].open {
+			return
+		}
+		fs[i].open = true
+		fs[i].openAt = t
+		touch(i, t)
+		// Freeze every active client with a tight edge to i.
+		for _, j := range tight[i] {
+			if !cs[j].frozen {
+				freeze(j, t, i)
+			}
+		}
+	}
+	// Zero-cost facilities are paid immediately.
+	for i := 0; i < m; i++ {
+		schedule(i, 0)
+	}
+
+	for frozenCount < nc && h.Len() > 0 {
+		ev := heap.Pop(&h).(*event)
+		switch ev.kind {
+		case evEdgeTight:
+			i, j := ev.a, ev.b
+			if cs[j].frozen {
+				continue // edge never tightened while j active
+			}
+			tight[i] = append(tight[i], j)
+			if fs[i].open {
+				// Edge to an already-open facility: j connects and freezes.
+				freeze(j, ev.time, i)
+				continue
+			}
+			touch(i, ev.time)
+			fs[i].numActive++
+			contribTo[j] = append(contribTo[j], i)
+			schedule(i, ev.time)
+		case evFacilityPaid:
+			i := ev.a
+			if fs[i].open || ev.b != fs[i].version {
+				continue // stale prediction
+			}
+			openFacility(i, ev.time)
+		}
+	}
+	if frozenCount < nc {
+		// Should be impossible on connectable instances: every client's
+		// cheapest facility eventually gets paid.
+		return nil, errors.New("lp: dual ascent stalled before all clients froze")
+	}
+
+	out := &Ascent{
+		Alpha:    make([]float64, nc),
+		Witness:  make([]int, nc),
+		TempOpen: make([]bool, m),
+		OpenTime: make([]float64, m),
+		Contrib:  make([][]int, m),
+	}
+	for j := 0; j < nc; j++ {
+		out.Alpha[j] = cs[j].freezeAt
+		out.Witness[j] = cs[j].witness
+	}
+	for i := 0; i < m; i++ {
+		out.TempOpen[i] = fs[i].open
+		out.OpenTime[i] = fs[i].openAt
+		if !fs[i].open {
+			continue
+		}
+		for _, j := range tight[i] {
+			if c, ok := inst.Cost(i, j); ok && out.Alpha[j] > float64(c)+1e-9 {
+				out.Contrib[i] = append(out.Contrib[i], j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LowerBound is a convenience wrapper: run the ascent and return the bound.
+func LowerBound(inst *fl.Instance) (int64, error) {
+	a, err := DualAscent(inst)
+	if err != nil {
+		return 0, err
+	}
+	return a.LowerBound(), nil
+}

@@ -1,0 +1,228 @@
+package lp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+func mustInstance(t *testing.T, fac []int64, nc int, edges []fl.RawEdge) *fl.Instance {
+	t.Helper()
+	inst, err := fl.New("t", fac, nc, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestDualAscentSingleFacility(t *testing.T) {
+	// One facility (cost 10), two clients at costs 3 and 5.
+	// alpha grows: edge(0) tight at 3, edge(1) tight at 5.
+	// payment = (t-3) + (t-5) = 10 => t = 9. alpha = {9, 9}, LB = 18.
+	// OPT = 10 + 3 + 5 = 18, so the bound is tight here.
+	inst := mustInstance(t, []int64{10}, 2, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 3},
+		{Facility: 0, Client: 1, Cost: 5},
+	})
+	asc, err := DualAscent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Alpha[0] != 9 || asc.Alpha[1] != 9 {
+		t.Fatalf("alpha = %v, want [9 9]", asc.Alpha)
+	}
+	if !asc.TempOpen[0] || asc.OpenTime[0] != 9 {
+		t.Fatalf("facility state: open=%v at %v", asc.TempOpen[0], asc.OpenTime[0])
+	}
+	if lb := asc.LowerBound(); lb != 17 && lb != 18 {
+		// 18 is exact; 17 allowed because LowerBound shaves float error.
+		t.Fatalf("LowerBound = %d, want 18 (or 17 after epsilon shave)", lb)
+	}
+	if asc.Witness[0] != 0 || asc.Witness[1] != 0 {
+		t.Fatalf("witness = %v", asc.Witness)
+	}
+}
+
+func TestDualAscentZeroCostFacility(t *testing.T) {
+	// A free facility is paid at time 0; clients freeze when their edges
+	// tighten. alpha_j = c_0j.
+	inst := mustInstance(t, []int64{0}, 2, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 4},
+		{Facility: 0, Client: 1, Cost: 6},
+	})
+	asc, err := DualAscent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Alpha[0] != 4 || asc.Alpha[1] != 6 {
+		t.Fatalf("alpha = %v, want [4 6]", asc.Alpha)
+	}
+	// LB = 10 = OPT (0 + 4 + 6).
+	if lb := asc.LowerBound(); lb < 9 || lb > 10 {
+		t.Fatalf("LowerBound = %d, want ~10", lb)
+	}
+}
+
+func TestDualAscentTwoFacilities(t *testing.T) {
+	// Client 0 near facility 0, client 1 near facility 1.
+	inst := mustInstance(t, []int64{2, 2}, 2, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 1},
+		{Facility: 0, Client: 1, Cost: 100},
+		{Facility: 1, Client: 0, Cost: 100},
+		{Facility: 1, Client: 1, Cost: 1},
+	})
+	asc, err := DualAscent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each facility is paid by its own client at time 3.
+	if asc.Alpha[0] != 3 || asc.Alpha[1] != 3 {
+		t.Fatalf("alpha = %v, want [3 3]", asc.Alpha)
+	}
+	if !asc.TempOpen[0] || !asc.TempOpen[1] {
+		t.Fatal("both facilities should be temp-open")
+	}
+	// Contributions: client j contributes positively to its own facility.
+	if len(asc.Contrib[0]) != 1 || asc.Contrib[0][0] != 0 {
+		t.Fatalf("contrib[0] = %v", asc.Contrib[0])
+	}
+}
+
+func TestDualAscentInfeasible(t *testing.T) {
+	inst := mustInstance(t, []int64{1}, 1, nil)
+	if _, err := DualAscent(inst); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := LowerBound(inst); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("LowerBound err = %v, want ErrInfeasible", err)
+	}
+}
+
+// bruteForceOPT computes the exact optimum for tiny instances by subset
+// enumeration, independent of package seq (so lp tests have no internal
+// dependencies beyond fl).
+func bruteForceOPT(inst *fl.Instance) int64 {
+	m, nc := inst.M(), inst.NC()
+	best := int64(1<<62 - 1)
+	for mask := 1; mask < 1<<m; mask++ {
+		var total int64
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				total += inst.FacilityCost(i)
+			}
+		}
+		ok := true
+		for j := 0; j < nc; j++ {
+			bestC := int64(-1)
+			for _, e := range inst.ClientEdges(j) {
+				if mask&(1<<e.To) != 0 && (bestC < 0 || e.Cost < bestC) {
+					bestC = e.Cost
+				}
+			}
+			if bestC < 0 {
+				ok = false
+				break
+			}
+			total += bestC
+		}
+		if ok && total < best {
+			best = total
+		}
+	}
+	return best
+}
+
+// TestLowerBoundNeverExceedsOPT is the core soundness property: the dual
+// ascent value must lower-bound the true optimum on random instances.
+func TestLowerBoundNeverExceedsOPT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 1
+		nc := rng.Intn(7) + 1
+		fac := make([]int64, m)
+		for i := range fac {
+			fac[i] = rng.Int63n(60)
+		}
+		var edges []fl.RawEdge
+		for j := 0; j < nc; j++ {
+			perm := rng.Perm(m)
+			for _, i := range perm[:rng.Intn(m)+1] {
+				edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: rng.Int63n(40) + 1})
+			}
+		}
+		inst, err := fl.New("prop", fac, nc, edges)
+		if err != nil {
+			return false
+		}
+		lb, err := LowerBound(inst)
+		if err != nil {
+			return false
+		}
+		return lb <= bruteForceOPT(inst) && lb >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundOnGeneratedFamilies(t *testing.T) {
+	gens := map[string]gen.Generator{
+		"uniform":   gen.Uniform{M: 8, NC: 30},
+		"euclidean": gen.Euclidean{M: 8, NC: 30},
+		"clustered": gen.Clustered{M: 8, NC: 30, Clusters: 3},
+		"setcover":  gen.SetCoverLike{NC: 30, Sets: 5, NestedTrap: true},
+	}
+	for name, g := range gens {
+		t.Run(name, func(t *testing.T) {
+			inst, err := g.Generate(99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := LowerBound(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb <= 0 {
+				t.Fatalf("LowerBound = %d, want positive", lb)
+			}
+			// The trivial upper bound: open everything, cheapest edges.
+			var ub int64
+			for i := 0; i < inst.M(); i++ {
+				ub += inst.FacilityCost(i)
+			}
+			for j := 0; j < inst.NC(); j++ {
+				e, _ := inst.CheapestEdge(j)
+				ub += e.Cost
+			}
+			if lb > ub {
+				t.Fatalf("LowerBound %d exceeds open-all upper bound %d", lb, ub)
+			}
+		})
+	}
+}
+
+func TestDualAscentAllClientsGetWitness(t *testing.T) {
+	inst, err := gen.Uniform{M: 10, NC: 40, Density: 0.3, MinDegree: 1}.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc, err := DualAscent(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range asc.Witness {
+		if w < 0 || w >= inst.M() {
+			t.Fatalf("client %d witness = %d", j, w)
+		}
+		if !asc.TempOpen[w] {
+			t.Fatalf("client %d witness %d is not temp-open", j, w)
+		}
+		if _, ok := inst.Cost(w, j); !ok {
+			t.Fatalf("client %d witness %d not adjacent", j, w)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dfl/internal/fl"
+)
+
+// This file adds an exact LP solver for small instances: a dense two-phase
+// primal simplex with Bland's anti-cycling rule. It exists to audit the
+// dual-ascent bound (how far below the true LP optimum does it sit?) and
+// to measure the integrality gap OPT_LP vs OPT on instances where exact
+// search is feasible. It is NOT used on large instances — dual ascent is.
+
+// ErrLPTooLarge guards the dense tableau against accidental huge inputs.
+var ErrLPTooLarge = errors.New("lp: instance too large for the dense simplex")
+
+// ErrLPInfeasible is returned when phase 1 cannot drive the artificial
+// variables to zero (cannot happen for connectable UFL instances).
+var ErrLPInfeasible = errors.New("lp: linear program infeasible")
+
+// ErrLPUnbounded is returned on an unbounded ray (cannot happen for UFL:
+// the objective is bounded below by zero).
+var ErrLPUnbounded = errors.New("lp: linear program unbounded")
+
+// MaxSimplexCells bounds rows*cols of the dense tableau.
+const MaxSimplexCells = 4 << 20
+
+// SolveExactLP computes the optimal value of the UFL linear relaxation
+//
+//	min  sum f_i y_i + sum c_ij x_ij
+//	s.t. sum_{i : (i,j) in E} x_ij  = 1   for every client j
+//	     x_ij <= y_i                      for every edge (i,j)
+//	     x, y >= 0
+//
+// exactly (up to float64 simplex arithmetic). Intended for instances with
+// a few hundred edges; larger inputs return ErrLPTooLarge.
+func SolveExactLP(inst *fl.Instance) (float64, error) {
+	if !inst.Connectable() {
+		return 0, ErrInfeasible
+	}
+	m, nc, ne := inst.M(), inst.NC(), inst.EdgeCount()
+
+	// Variable layout: y_0..y_{m-1}, then one x per edge (in facility-major
+	// order), then one slack per edge.
+	edgeIdx := make(map[[2]int]int, ne) // (facility, client) -> x index
+	type edge struct{ i, j int }
+	edges := make([]edge, 0, ne)
+	for i := 0; i < m; i++ {
+		for _, e := range inst.FacilityEdges(i) {
+			edgeIdx[[2]int{i, e.To}] = m + len(edges)
+			edges = append(edges, edge{i, e.To})
+		}
+	}
+	nVars := m + 2*ne
+	nRows := nc + ne
+	if nRows*(nVars+nc) > MaxSimplexCells {
+		return 0, fmt.Errorf("%w: %d rows x %d cols", ErrLPTooLarge, nRows, nVars)
+	}
+
+	A := make([][]float64, nRows)
+	for r := range A {
+		A[r] = make([]float64, nVars)
+	}
+	b := make([]float64, nRows)
+	c := make([]float64, nVars)
+	for i := 0; i < m; i++ {
+		c[i] = float64(inst.FacilityCost(i))
+	}
+	for k, e := range edges {
+		cost, _ := inst.Cost(e.i, e.j)
+		c[m+k] = float64(cost)
+	}
+	// Assignment equalities.
+	for j := 0; j < nc; j++ {
+		for _, e := range inst.ClientEdges(j) {
+			A[j][edgeIdx[[2]int{e.To, j}]] = 1
+		}
+		b[j] = 1
+	}
+	// Edge-capacity rows: x_ij - y_i + s = 0.
+	for k, e := range edges {
+		r := nc + k
+		A[r][m+k] = 1
+		A[r][e.i] = -1
+		A[r][m+ne+k] = 1 // slack
+	}
+
+	x, obj, err := simplexSolve(c, A, b)
+	if err != nil {
+		return 0, err
+	}
+	_ = x
+	return obj, nil
+}
+
+// simplexSolve minimizes c.x subject to Ax = b, x >= 0 with b >= 0, via
+// two-phase dense simplex with Bland's rule. A is modified in place.
+func simplexSolve(c []float64, A [][]float64, b []float64) ([]float64, float64, error) {
+	nRows := len(A)
+	if nRows == 0 {
+		return nil, 0, nil
+	}
+	nVars := len(c)
+	for r := range b {
+		if b[r] < 0 {
+			for k := range A[r] {
+				A[r][k] = -A[r][k]
+			}
+			b[r] = -b[r]
+		}
+	}
+
+	// Phase 1: artificial variable per row, minimize their sum.
+	total := nVars + nRows
+	tab := make([][]float64, nRows)
+	for r := range tab {
+		tab[r] = make([]float64, total)
+		copy(tab[r], A[r])
+		tab[r][nVars+r] = 1
+	}
+	basis := make([]int, nRows)
+	for r := range basis {
+		basis[r] = nVars + r
+	}
+	phase1 := make([]float64, total)
+	for v := nVars; v < total; v++ {
+		phase1[v] = 1
+	}
+	obj1, err := simplexIterate(tab, b, basis, phase1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if obj1 > 1e-7 {
+		return nil, 0, ErrLPInfeasible
+	}
+	// Drive leftover artificial variables out of the basis where possible.
+	for r, v := range basis {
+		if v < nVars {
+			continue
+		}
+		pivoted := false
+		for k := 0; k < nVars; k++ {
+			if math.Abs(tab[r][k]) > 1e-9 {
+				pivot(tab, b, basis, r, k)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it cannot constrain phase 2.
+			for k := range tab[r] {
+				tab[r][k] = 0
+			}
+			b[r] = 0
+		}
+	}
+
+	// Phase 2 on the original objective; artificial columns blocked.
+	phase2 := make([]float64, total)
+	copy(phase2, c)
+	for v := nVars; v < total; v++ {
+		phase2[v] = math.Inf(1) // never eligible to enter
+	}
+	obj2, err := simplexIterate(tab, b, basis, phase2)
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, nVars)
+	for r, v := range basis {
+		if v < nVars {
+			x[v] = b[r]
+		}
+	}
+	return x, obj2, nil
+}
+
+// simplexIterate runs Bland-rule pivots until optimal, returning the
+// objective value of the final basic solution.
+func simplexIterate(tab [][]float64, b []float64, basis []int, c []float64) (float64, error) {
+	nRows := len(tab)
+	total := len(c)
+	// Reduced cost of column k: c_k - sum over rows of c_basis[r] * tab[r][k].
+	y := make([]float64, nRows) // simplex multiplier surrogate: c of basis
+	const eps = 1e-9
+	for iter := 0; iter < 200000; iter++ {
+		for r := range basis {
+			y[r] = c[basis[r]]
+		}
+		enter := -1
+		for k := 0; k < total; k++ {
+			if math.IsInf(c[k], 1) {
+				continue
+			}
+			red := c[k]
+			for r := 0; r < nRows; r++ {
+				if y[r] != 0 && tab[r][k] != 0 {
+					red -= y[r] * tab[r][k]
+				}
+			}
+			if red < -eps {
+				enter = k // Bland: smallest eligible index
+				break
+			}
+		}
+		if enter == -1 {
+			var obj float64
+			for r, v := range basis {
+				// A leftover artificial can only sit on a zeroed redundant
+				// row (b == 0); its +Inf phase-2 cost must not produce NaN.
+				if math.IsInf(c[v], 1) {
+					continue
+				}
+				obj += c[v] * b[r]
+			}
+			return obj, nil
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < nRows; r++ {
+			if tab[r][enter] > eps {
+				ratio := b[r] / tab[r][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || basis[r] < basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrLPUnbounded
+		}
+		pivot(tab, b, basis, leave, enter)
+	}
+	return 0, errors.New("lp: simplex iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row r.
+func pivot(tab [][]float64, b []float64, basis []int, r, enter int) {
+	p := tab[r][enter]
+	inv := 1 / p
+	for k := range tab[r] {
+		tab[r][k] *= inv
+	}
+	b[r] *= inv
+	for rr := range tab {
+		if rr == r {
+			continue
+		}
+		factor := tab[rr][enter]
+		if factor == 0 {
+			continue
+		}
+		for k := range tab[rr] {
+			tab[rr][k] -= factor * tab[r][k]
+		}
+		b[rr] -= factor * b[r]
+		if b[rr] < 0 && b[rr] > -1e-11 {
+			b[rr] = 0
+		}
+	}
+	basis[r] = enter
+}

@@ -1,0 +1,209 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+func TestSimplexSolveKnownLP(t *testing.T) {
+	// max x+y s.t. x+2y <= 4, 3x+y <= 6  ==  min -x-y with slacks.
+	// Optimum at x=8/5, y=6/5, value 14/5.
+	c := []float64{-1, -1, 0, 0}
+	A := [][]float64{
+		{1, 2, 1, 0},
+		{3, 1, 0, 1},
+	}
+	b := []float64{4, 6}
+	x, obj, err := simplexSolve(c, A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-(-14.0/5)) > 1e-9 {
+		t.Fatalf("obj = %v, want -2.8", obj)
+	}
+	if math.Abs(x[0]-1.6) > 1e-9 || math.Abs(x[1]-1.2) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSimplexSolveEqualities(t *testing.T) {
+	// min 2a+3b s.t. a+b = 10, a-b = 2 -> a=6, b=4, obj 24.
+	c := []float64{2, 3}
+	A := [][]float64{{1, 1}, {1, -1}}
+	b := []float64{10, 2}
+	_, obj, err := simplexSolve(c, A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-24) > 1e-9 {
+		t.Fatalf("obj = %v, want 24", obj)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// a = 1 and a = 2 simultaneously.
+	c := []float64{1}
+	A := [][]float64{{1}, {1}}
+	b := []float64{1, 2}
+	if _, _, err := simplexSolve(c, A, b); !errors.Is(err, ErrLPInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -a s.t. a - s = 0 (a free to grow with slack).
+	c := []float64{-1, 0}
+	A := [][]float64{{1, -1}}
+	b := []float64{0}
+	if _, _, err := simplexSolve(c, A, b); !errors.Is(err, ErrLPUnbounded) {
+		t.Fatalf("err = %v, want unbounded", err)
+	}
+}
+
+func TestSimplexRedundantRows(t *testing.T) {
+	// Duplicate equality rows must not break phase 2.
+	c := []float64{1, 1}
+	A := [][]float64{{1, 1}, {1, 1}, {2, 2}}
+	b := []float64{3, 3, 6}
+	_, obj, err := simplexSolve(c, A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-3) > 1e-9 {
+		t.Fatalf("obj = %v, want 3", obj)
+	}
+}
+
+func TestSolveExactLPSingleFacility(t *testing.T) {
+	// One facility cost 10, clients at 3 and 5: LP forces y=1 -> 18.
+	inst := mustInstance(t, []int64{10}, 2, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 3},
+		{Facility: 0, Client: 1, Cost: 5},
+	})
+	v, err := SolveExactLP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-18) > 1e-6 {
+		t.Fatalf("LP = %v, want 18", v)
+	}
+}
+
+func TestSolveExactLPFractionalGap(t *testing.T) {
+	// The classic fractional-opening gap: 3 clients, 3 facilities, each
+	// facility cheap (cost 1) for two clients at 0 and absent for the
+	// third. Integrally two facilities must open (cost 2); fractionally
+	// y_i = 1/2 each suffices (cost 3/2).
+	inst := mustInstance(t, []int64{1, 1, 1}, 3, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 0}, {Facility: 0, Client: 1, Cost: 0},
+		{Facility: 1, Client: 1, Cost: 0}, {Facility: 1, Client: 2, Cost: 0},
+		{Facility: 2, Client: 2, Cost: 0}, {Facility: 2, Client: 0, Cost: 0},
+	})
+	v, err := SolveExactLP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.5) > 1e-6 {
+		t.Fatalf("LP = %v, want 1.5 (fractional optimum)", v)
+	}
+}
+
+func TestSolveExactLPInfeasibleInstance(t *testing.T) {
+	inst := mustInstance(t, []int64{1}, 1, nil)
+	if _, err := SolveExactLP(inst); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestLPSandwich is the audit property: dual-ascent bound <= exact LP <=
+// exact integral OPT, on random small instances.
+func TestLPSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(4) + 1
+		nc := rng.Intn(6) + 1
+		fac := make([]int64, m)
+		for i := range fac {
+			fac[i] = rng.Int63n(50)
+		}
+		var edges []fl.RawEdge
+		for j := 0; j < nc; j++ {
+			perm := rng.Perm(m)
+			for _, i := range perm[:rng.Intn(m)+1] {
+				edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: rng.Int63n(40) + 1})
+			}
+		}
+		inst, err := fl.New("prop", fac, nc, edges)
+		if err != nil {
+			return false
+		}
+		lpVal, err := SolveExactLP(inst)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ascent, err := DualAscent(inst)
+		if err != nil {
+			return false
+		}
+		dual := float64(ascent.LowerBound())
+		opt := float64(bruteForceOPT(inst))
+		const tol = 1e-6
+		if dual > lpVal*(1+tol)+1 {
+			t.Logf("seed %d: dual %v above LP %v", seed, dual, lpVal)
+			return false
+		}
+		if lpVal > opt*(1+tol)+tol {
+			t.Logf("seed %d: LP %v above OPT %v", seed, lpVal, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveExactLPOnFamilies(t *testing.T) {
+	for name, g := range map[string]gen.Generator{
+		"uniform":   gen.Uniform{M: 6, NC: 15},
+		"euclidean": gen.Euclidean{M: 6, NC: 15},
+	} {
+		t.Run(name, func(t *testing.T) {
+			inst, err := g.Generate(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lpVal, err := SolveExactLP(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dual, err := LowerBound(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(dual) > lpVal+1 {
+				t.Fatalf("dual ascent %d above exact LP %v", dual, lpVal)
+			}
+			if lpVal <= 0 {
+				t.Fatalf("LP value %v not positive", lpVal)
+			}
+		})
+	}
+}
+
+func TestSolveExactLPTooLarge(t *testing.T) {
+	inst, err := gen.Uniform{M: 100, NC: 2000}.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveExactLP(inst); !errors.Is(err, ErrLPTooLarge) {
+		t.Fatalf("err = %v, want too-large guard", err)
+	}
+}

@@ -1,0 +1,131 @@
+package seq
+
+import (
+	"errors"
+	"fmt"
+
+	"dfl/internal/fl"
+)
+
+// MaxExactFacilities bounds the branch-and-bound search; beyond it the
+// 2^m enumeration is not laptop-friendly.
+const MaxExactFacilities = 24
+
+// ErrTooLarge is returned by Exact for instances with too many facilities.
+var ErrTooLarge = errors.New("seq: instance too large for exact search")
+
+// Exact computes an optimal solution by depth-first branch and bound over
+// facility subsets. Admissible pruning uses, per client, the cheapest edge
+// among facilities already opened or not yet decided. Intended for the
+// exact-ratio audit (Table 6) and for correctness tests; m must be at most
+// MaxExactFacilities.
+func Exact(inst *fl.Instance) (*fl.Solution, error) {
+	if inst.M() > MaxExactFacilities {
+		return nil, fmt.Errorf("%w: m=%d > %d", ErrTooLarge, inst.M(), MaxExactFacilities)
+	}
+	if !inst.Connectable() {
+		return nil, ErrInfeasible
+	}
+	m, nc := inst.M(), inst.NC()
+
+	// Dense cost view: costs[j][i], -1 when no edge.
+	costs := make([][]int64, nc)
+	for j := 0; j < nc; j++ {
+		costs[j] = make([]int64, m)
+		for i := range costs[j] {
+			costs[j][i] = -1
+		}
+		for _, e := range inst.ClientEdges(j) {
+			costs[j][e.To] = e.Cost
+		}
+	}
+
+	// Seed the incumbent with a decent greedy solution so pruning bites.
+	incumbent, err := Greedy(inst)
+	if err != nil {
+		return nil, err
+	}
+	bestCost := incumbent.Cost(inst)
+	best := incumbent.Clone()
+
+	open := make([]bool, m)
+	// search decides facility i onward. openCost is the opening cost so
+	// far. For pruning: every client's cheapest cost among open facilities
+	// and undecided facilities (those >= i) is a lower bound on its final
+	// connection cost.
+	var search func(i int, openCost int64)
+	lowerBound := func(i int, openCost int64) (int64, bool) {
+		lb := openCost
+		for j := 0; j < nc; j++ {
+			cbest := int64(-1)
+			for f := 0; f < m; f++ {
+				c := costs[j][f]
+				if c < 0 {
+					continue
+				}
+				if f >= i || open[f] {
+					if cbest < 0 || c < cbest {
+						cbest = c
+					}
+				}
+			}
+			if cbest < 0 {
+				return 0, false // client can no longer be covered
+			}
+			lb = fl.AddSat(lb, cbest)
+		}
+		return lb, true
+	}
+	evaluate := func(openCost int64) {
+		total := openCost
+		assign := make([]int, nc)
+		for j := 0; j < nc; j++ {
+			bestF, bestC := -1, int64(0)
+			for f := 0; f < m; f++ {
+				if !open[f] {
+					continue
+				}
+				c := costs[j][f]
+				if c < 0 {
+					continue
+				}
+				if bestF == -1 || c < bestC {
+					bestF, bestC = f, c
+				}
+			}
+			if bestF == -1 {
+				return // infeasible subset
+			}
+			assign[j] = bestF
+			total = fl.AddSat(total, bestC)
+		}
+		if total < bestCost {
+			bestCost = total
+			best = &fl.Solution{Open: append([]bool(nil), open...), Assign: assign}
+		}
+	}
+	search = func(i int, openCost int64) {
+		lb, feasible := lowerBound(i, openCost)
+		if !feasible || lb >= bestCost {
+			return
+		}
+		if i == m {
+			evaluate(openCost)
+			return
+		}
+		// Branch "open" first: opening tends to restore feasibility early
+		// and produce good incumbents sooner.
+		open[i] = true
+		search(i+1, fl.AddSat(openCost, inst.FacilityCost(i)))
+		open[i] = false
+		search(i+1, openCost)
+	}
+	search(0, 0)
+
+	// Drop facilities that serve nobody in the final assignment.
+	best = fl.Reassign(inst, best)
+	if err := fl.Validate(inst, best); err != nil {
+		return nil, fmt.Errorf("seq: exact produced invalid solution: %w", err)
+	}
+	return best, nil
+}

@@ -1,0 +1,152 @@
+package seq
+
+import (
+	"container/heap"
+	"errors"
+
+	"dfl/internal/fl"
+)
+
+// GreedyFast computes exactly the same solution as Greedy using lazy
+// evaluation: facility effectiveness values only get worse as clients
+// leave the pool (and are refreshed explicitly when a facility opens and
+// its sunk opening cost drops out), so stale heap entries can be
+// re-verified on pop instead of recomputing every facility every
+// iteration. On instances where stars are local this is close to
+// O(E log m) instead of Greedy's O(nc * E).
+//
+// The equality Greedy(inst) == GreedyFast(inst) (same cost, same
+// assignment) is property-tested; ties are resolved identically (smallest
+// facility id among minimum-effectiveness stars).
+func GreedyFast(inst *fl.Instance) (*fl.Solution, error) {
+	if !inst.Connectable() {
+		return nil, ErrInfeasible
+	}
+	m, nc := inst.M(), inst.NC()
+	sol := fl.NewSolution(inst)
+	active := make([]bool, nc)
+	for j := range active {
+		active[j] = true
+	}
+	remaining := nc
+
+	// version[i] invalidates heap entries older than facility i's last
+	// refresh-worthy event (its own opening).
+	version := make([]int, m)
+	starBuf := make([][]int, m)
+
+	h := &starHeap{}
+	push := func(i int) {
+		num, den, star := bestStarFor(inst, i, sol.Open[i], active, starBuf[i])
+		starBuf[i] = star[:cap(star)]
+		if den == 0 {
+			return
+		}
+		heap.Push(h, starEntry{fac: i, num: num, den: den, size: len(star), version: version[i]})
+	}
+	for i := 0; i < m; i++ {
+		push(i)
+	}
+
+	for remaining > 0 {
+		if h.Len() == 0 {
+			return nil, errors.New("seq: fast greedy stalled with unconnected clients")
+		}
+		top := (*h)[0]
+		// Recompute lazily: the entry is authoritative only if nothing
+		// relevant changed. Effectiveness is monotone non-decreasing under
+		// client removal, so a recomputed value that still matches the
+		// popped key is safe to act on.
+		num, den, star := bestStarFor(inst, top.fac, sol.Open[top.fac], active, starBuf[top.fac])
+		starBuf[top.fac] = star[:cap(star)]
+		if den == 0 {
+			heap.Pop(h)
+			continue
+		}
+		if top.version != version[top.fac] || fl.RatioCmp(num, den, top.num, top.den) != 0 || len(star) != top.size {
+			// Stale: reinsert with the fresh value.
+			heap.Pop(h)
+			heap.Push(h, starEntry{fac: top.fac, num: num, den: den, size: len(star), version: version[top.fac]})
+			continue
+		}
+		// Tie-break safety: Greedy picks the smallest facility id among
+		// equal-effectiveness stars. The heap orders by (eff, fac), so the
+		// top is exactly that facility once verified fresh... unless an
+		// equal-effectiveness smaller-id facility is buried stale below.
+		// Verify by checking the next candidates with equal keys.
+		if i := equalKeySmallerFac(h, inst, sol, active, starBuf, version); i >= 0 {
+			continue // a smaller-id facility was refreshed to the same key
+		}
+		heap.Pop(h)
+		wasOpen := sol.Open[top.fac]
+		sol.Open[top.fac] = true
+		for _, j := range star {
+			sol.Assign[j] = top.fac
+			active[j] = false
+			remaining--
+		}
+		if !wasOpen {
+			// Opening cost is now sunk: the facility's future stars are
+			// cheaper, so refresh it eagerly.
+			version[top.fac]++
+			push(top.fac)
+		} else {
+			push(top.fac)
+		}
+	}
+	return sol, nil
+}
+
+// equalKeySmallerFac scans heap entries whose key equals the top's key and
+// refreshes any with a smaller facility id; it returns the refreshed
+// facility id or -1. Needed only to replicate Greedy's deterministic
+// tie-break exactly; equal-key runs are short in practice.
+func equalKeySmallerFac(h *starHeap, inst *fl.Instance, sol *fl.Solution, active []bool, starBuf [][]int, version []int) int {
+	top := (*h)[0]
+	for idx := 1; idx < h.Len(); idx++ {
+		e := (*h)[idx]
+		if e.fac >= top.fac {
+			continue
+		}
+		if fl.RatioCmp(e.num, e.den, top.num, top.den) != 0 {
+			continue
+		}
+		num, den, star := bestStarFor(inst, e.fac, sol.Open[e.fac], active, starBuf[e.fac])
+		starBuf[e.fac] = star[:cap(star)]
+		if den != 0 && fl.RatioCmp(num, den, top.num, top.den) == 0 {
+			// Same key, smaller id, verified fresh: promote it by marking
+			// the current entry fresh in place.
+			(*h)[idx] = starEntry{fac: e.fac, num: num, den: den, size: len(star), version: version[e.fac]}
+			heap.Fix(h, idx)
+			return e.fac
+		}
+	}
+	return -1
+}
+
+type starEntry struct {
+	fac     int
+	num     int64
+	den     int64
+	size    int
+	version int
+}
+
+type starHeap []starEntry
+
+func (h starHeap) Len() int { return len(h) }
+func (h starHeap) Less(a, b int) bool {
+	if c := fl.RatioCmp(h[a].num, h[a].den, h[b].num, h[b].den); c != 0 {
+		return c < 0
+	}
+	return h[a].fac < h[b].fac
+}
+func (h starHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *starHeap) Push(x any)   { *h = append(*h, x.(starEntry)) }
+func (h *starHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,143 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+func TestGreedyFastTiny(t *testing.T) {
+	inst := tiny(t)
+	fast, err := GreedyFast(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cost(inst) != ref.Cost(inst) {
+		t.Fatalf("fast %d != reference %d", fast.Cost(inst), ref.Cost(inst))
+	}
+}
+
+func TestGreedyFastInfeasible(t *testing.T) {
+	inst := mustInstance(t, []int64{5}, 2, []fl.RawEdge{{Facility: 0, Client: 0, Cost: 1}})
+	if _, err := GreedyFast(inst); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+// TestGreedyFastEquivalence is the central property: identical solutions
+// (not just costs) to the reference implementation, over random instances
+// including heavy ties.
+func TestGreedyFastEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 8, 14)
+		ref, err := Greedy(inst)
+		if err != nil {
+			return false
+		}
+		fast, err := GreedyFast(inst)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i := range ref.Open {
+			if ref.Open[i] != fast.Open[i] {
+				t.Logf("seed %d: open[%d] differs", seed, i)
+				return false
+			}
+		}
+		for j := range ref.Assign {
+			if ref.Assign[j] != fast.Assign[j] {
+				t.Logf("seed %d: assign[%d] %d != %d", seed, j, fast.Assign[j], ref.Assign[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyFastEquivalenceOnTies uses instances built entirely from equal
+// costs, the worst case for tie-break fidelity.
+func TestGreedyFastEquivalenceOnTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 2
+		nc := rng.Intn(10) + 2
+		fac := make([]int64, m)
+		for i := range fac {
+			fac[i] = 4 // all equal
+		}
+		var edges []fl.RawEdge
+		for j := 0; j < nc; j++ {
+			perm := rng.Perm(m)
+			for _, i := range perm[:rng.Intn(m)+1] {
+				edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: 2}) // all equal
+			}
+		}
+		inst, err := fl.New("ties", fac, nc, edges)
+		if err != nil {
+			return false
+		}
+		ref, err := Greedy(inst)
+		if err != nil {
+			return false
+		}
+		fast, err := GreedyFast(inst)
+		if err != nil {
+			return false
+		}
+		for j := range ref.Assign {
+			if ref.Assign[j] != fast.Assign[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyFastOnGeneratedFamilies(t *testing.T) {
+	gens := map[string]gen.Generator{
+		"uniform":   gen.Uniform{M: 15, NC: 80},
+		"sparse":    gen.Uniform{M: 15, NC: 80, Density: 0.2, MinDegree: 1},
+		"euclidean": gen.Euclidean{M: 15, NC: 80},
+		"setcover":  gen.SetCoverLike{NC: 64, Sets: 8, NestedTrap: true},
+		"star":      gen.Star{M: 8, NC: 40},
+	}
+	for name, g := range gens {
+		t.Run(name, func(t *testing.T) {
+			inst, err := g.Generate(13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Greedy(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := GreedyFast(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Cost(inst) != fast.Cost(inst) {
+				t.Fatalf("cost %d != %d", fast.Cost(inst), ref.Cost(inst))
+			}
+			for j := range ref.Assign {
+				if ref.Assign[j] != fast.Assign[j] {
+					t.Fatalf("assign[%d] differs", j)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"dfl/internal/fl"
+	"dfl/internal/lp"
+)
+
+// JainVazirani runs the primal-dual algorithm of Jain & Vazirani: phase 1
+// is the dual ascent from package lp; phase 2 opens a maximal independent
+// set (in opening-time order) of the conflict graph on temporarily open
+// facilities, where two facilities conflict when some client contributes
+// positively to both. On metric instances the result is 3-approximate; on
+// arbitrary instances the algorithm still returns a feasible solution
+// (clients with no open incident facility fall back to their witness,
+// which is then opened).
+func JainVazirani(inst *fl.Instance) (*fl.Solution, error) {
+	asc, err := lp.DualAscent(inst)
+	if err != nil {
+		return nil, fmt.Errorf("seq: jain-vazirani phase 1: %w", err)
+	}
+	m := inst.M()
+
+	// Order temp-open facilities by opening time (ties by id) and pick a
+	// maximal independent set of the conflict graph greedily.
+	var order []int
+	for i := 0; i < m; i++ {
+		if asc.TempOpen[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if asc.OpenTime[ia] != asc.OpenTime[ib] {
+			return asc.OpenTime[ia] < asc.OpenTime[ib]
+		}
+		return ia < ib
+	})
+
+	// blockedBy[j] = true once client j contributes to a chosen facility;
+	// a facility conflicts with the chosen set iff one of its contributors
+	// is already blocked.
+	blocked := make([]bool, inst.NC())
+	sol := fl.NewSolution(inst)
+	for _, i := range order {
+		conflict := false
+		for _, j := range asc.Contrib[i] {
+			if blocked[j] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		sol.Open[i] = true
+		for _, j := range asc.Contrib[i] {
+			blocked[j] = true
+		}
+	}
+
+	// Assignment: cheapest open incident facility; clients left without one
+	// open their witness facility (feasible by construction of the ascent).
+	for j := 0; j < inst.NC(); j++ {
+		best, bestCost := fl.Unassigned, int64(0)
+		for _, e := range inst.ClientEdges(j) {
+			if sol.Open[e.To] {
+				best, bestCost = e.To, e.Cost
+				break
+			}
+		}
+		_ = bestCost
+		if best == fl.Unassigned {
+			w := asc.Witness[j]
+			if w < 0 {
+				return nil, fmt.Errorf("seq: jain-vazirani: client %d has no witness", j)
+			}
+			sol.Open[w] = true
+			best = w
+		}
+		sol.Assign[j] = best
+	}
+	// Late witness openings may have created cheaper options for earlier
+	// clients; one reassignment pass only ever improves the solution.
+	return fl.Reassign(inst, sol), nil
+}

@@ -1,0 +1,160 @@
+package seq
+
+import (
+	"fmt"
+
+	"dfl/internal/fl"
+)
+
+// LocalSearchConfig tunes LocalSearch.
+type LocalSearchConfig struct {
+	// MaxPasses bounds full sweeps over the move neighbourhood; 0 means 100.
+	MaxPasses int
+	// Swaps enables the (close one, open one) move in addition to add and
+	// drop. Swaps are O(m^2) per pass, so they default to off above 200
+	// facilities unless explicitly enabled here.
+	Swaps bool
+}
+
+// LocalSearch improves a starting solution with add / drop / swap moves
+// until a local optimum or the pass budget. When start is nil it begins
+// from CheapestPerClient. On metric instances add+drop local optima are
+// constant-factor approximations; the harness uses it as the "polish"
+// baseline.
+func LocalSearch(inst *fl.Instance, start *fl.Solution, cfg LocalSearchConfig) (*fl.Solution, error) {
+	if !inst.Connectable() {
+		return nil, ErrInfeasible
+	}
+	if cfg.MaxPasses == 0 {
+		cfg.MaxPasses = 100
+	}
+	var sol *fl.Solution
+	if start != nil {
+		if err := fl.Validate(inst, start); err != nil {
+			return nil, fmt.Errorf("seq: local search start: %w", err)
+		}
+		sol = start.Clone()
+	} else {
+		var err error
+		sol, err = CheapestPerClient(inst)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sol = fl.Reassign(inst, sol)
+	cost := sol.Cost(inst)
+
+	m := inst.M()
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		improved := false
+
+		// Add moves: open one closed facility.
+		for i := 0; i < m; i++ {
+			if sol.Open[i] {
+				continue
+			}
+			if gain := addGain(inst, sol, i); gain > 0 {
+				sol.Open[i] = true
+				sol = fl.Reassign(inst, sol)
+				cost = sol.Cost(inst)
+				improved = true
+			}
+		}
+		// Drop moves: close one open facility.
+		for i := 0; i < m; i++ {
+			if !sol.Open[i] {
+				continue
+			}
+			if ok, gain := dropGain(inst, sol, i); ok && gain > 0 {
+				sol.Open[i] = false
+				sol = fl.Reassign(inst, sol)
+				cost = sol.Cost(inst)
+				improved = true
+			}
+		}
+		// Swap moves.
+		if cfg.Swaps || m <= 200 {
+			if swapOnce(inst, sol, &cost) {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if err := fl.Validate(inst, sol); err != nil {
+		return nil, fmt.Errorf("seq: local search produced invalid solution: %w", err)
+	}
+	return sol, nil
+}
+
+// addGain returns the cost decrease from opening facility i (may be
+// negative).
+func addGain(inst *fl.Instance, sol *fl.Solution, i int) int64 {
+	gain := -inst.FacilityCost(i)
+	for _, e := range inst.FacilityEdges(i) {
+		j := e.To
+		cur, ok := inst.Cost(sol.Assign[j], j)
+		if !ok {
+			continue
+		}
+		if e.Cost < cur {
+			gain += cur - e.Cost
+		}
+	}
+	return gain
+}
+
+// dropGain returns whether facility i can be closed (every client of i has
+// an alternative open facility) and the cost decrease from doing so.
+func dropGain(inst *fl.Instance, sol *fl.Solution, i int) (ok bool, gain int64) {
+	gain = inst.FacilityCost(i)
+	for _, e := range inst.FacilityEdges(i) {
+		j := e.To
+		if sol.Assign[j] != i {
+			continue
+		}
+		// Cheapest open alternative.
+		alt := int64(-1)
+		for _, ce := range inst.ClientEdges(j) {
+			if ce.To != i && sol.Open[ce.To] {
+				alt = ce.Cost
+				break
+			}
+		}
+		if alt < 0 {
+			return false, 0
+		}
+		gain -= alt - e.Cost
+	}
+	return true, gain
+}
+
+// swapOnce tries one improving (open in, close out) move; returns whether
+// it applied one.
+func swapOnce(inst *fl.Instance, sol *fl.Solution, cost *int64) bool {
+	m := inst.M()
+	for out := 0; out < m; out++ {
+		if !sol.Open[out] {
+			continue
+		}
+		for in := 0; in < m; in++ {
+			if sol.Open[in] || in == out {
+				continue
+			}
+			trial := sol.Clone()
+			trial.Open[out] = false
+			trial.Open[in] = true
+			trial = fl.Reassign(inst, trial)
+			if fl.Validate(inst, trial) != nil {
+				continue
+			}
+			if c := trial.Cost(inst); c < *cost {
+				*sol = *trial
+				*cost = c
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package seq
+
+import (
+	"sort"
+
+	"dfl/internal/fl"
+)
+
+// MettuPlaxton runs the radius-based algorithm of Mettu & Plaxton: every
+// facility i gets the value r_i solving sum_{j : c_ij <= r} (r - c_ij) =
+// f_i (the radius at which i's neighbourhood has collectively paid its
+// opening cost); facilities are processed in increasing r_i order and i
+// opens unless an already-open facility sits within distance 2*r_i in the
+// facility metric induced by the bipartite costs, d(i,i') = min_j (c_ij +
+// c_i'j). On metric instances this is a constant-factor approximation with
+// a single pass — the "local" flavour of centralized FL algorithms, and a
+// natural foil for the distributed protocol. On non-metric instances the
+// guarantee lapses but the algorithm still returns a feasible solution.
+func MettuPlaxton(inst *fl.Instance) (*fl.Solution, error) {
+	if !inst.Connectable() {
+		return nil, ErrInfeasible
+	}
+	m := inst.M()
+
+	// Radii via prefix sums over each facility's sorted edge costs:
+	// with the t cheapest clients, the candidate radius is
+	// r = (f_i + sum_t) / t, valid when c_t <= r <= c_(t+1).
+	radius := make([]float64, m)
+	for i := 0; i < m; i++ {
+		es := inst.FacilityEdges(i)
+		fi := float64(inst.FacilityCost(i))
+		if len(es) == 0 {
+			radius[i] = fi // never competitive, but well defined
+			continue
+		}
+		var sum float64
+		r := 0.0
+		for t := 1; t <= len(es); t++ {
+			sum += float64(es[t-1].Cost)
+			r = (fi + sum) / float64(t)
+			if t == len(es) || r <= float64(es[t].Cost) {
+				break
+			}
+		}
+		radius[i] = r
+	}
+
+	// Facility metric d(i,i') = min over shared clients j of c_ij + c_i'j.
+	// Built per client so sparse instances cost O(sum deg^2).
+	const inf = float64(1 << 62)
+	dist := make([][]float64, m)
+	for i := range dist {
+		dist[i] = make([]float64, m)
+		for k := range dist[i] {
+			if k != i {
+				dist[i][k] = inf
+			}
+		}
+	}
+	for j := 0; j < inst.NC(); j++ {
+		es := inst.ClientEdges(j)
+		for a := 0; a < len(es); a++ {
+			for b := a + 1; b < len(es); b++ {
+				d := float64(es[a].Cost + es[b].Cost)
+				if d < dist[es[a].To][es[b].To] {
+					dist[es[a].To][es[b].To] = d
+					dist[es[b].To][es[a].To] = d
+				}
+			}
+		}
+	}
+
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if radius[ia] != radius[ib] {
+			return radius[ia] < radius[ib]
+		}
+		return ia < ib
+	})
+
+	sol := fl.NewSolution(inst)
+	var open []int
+	for _, i := range order {
+		blocked := false
+		for _, o := range open {
+			if dist[i][o] <= 2*radius[i] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			sol.Open[i] = true
+			open = append(open, i)
+		}
+	}
+
+	// Assign clients to their cheapest open facility; clients isolated
+	// from every open facility (possible on sparse instances) open their
+	// own cheapest option.
+	for j := 0; j < inst.NC(); j++ {
+		assigned := false
+		for _, e := range inst.ClientEdges(j) {
+			if sol.Open[e.To] {
+				sol.Assign[j] = e.To
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			e, _ := inst.CheapestEdge(j)
+			sol.Open[e.To] = true
+			sol.Assign[j] = e.To
+		}
+	}
+	return fl.Reassign(inst, sol), nil
+}

@@ -1,0 +1,120 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+	"dfl/internal/lp"
+)
+
+func TestMettuPlaxtonTiny(t *testing.T) {
+	inst := tiny(t)
+	sol, err := MettuPlaxton(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Validate(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+	cost := sol.Cost(inst)
+	if cost < 18 || cost > 22 {
+		t.Fatalf("cost = %d, want within [18,22]", cost)
+	}
+}
+
+func TestMettuPlaxtonInfeasible(t *testing.T) {
+	inst := mustInstance(t, []int64{5}, 2, []fl.RawEdge{{Facility: 0, Client: 0, Cost: 1}})
+	if _, err := MettuPlaxton(inst); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestMettuPlaxtonRadiusOrdering(t *testing.T) {
+	// Two identical facilities covering the same clients: the radius rule
+	// must open exactly one of them (the other is within 2r).
+	inst := mustInstance(t, []int64{10, 10}, 4, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 1}, {Facility: 1, Client: 0, Cost: 1},
+		{Facility: 0, Client: 1, Cost: 1}, {Facility: 1, Client: 1, Cost: 1},
+		{Facility: 0, Client: 2, Cost: 1}, {Facility: 1, Client: 2, Cost: 1},
+		{Facility: 0, Client: 3, Cost: 1}, {Facility: 1, Client: 3, Cost: 1},
+	})
+	sol, err := MettuPlaxton(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.OpenCount() != 1 {
+		t.Fatalf("open count = %d, want 1 (duplicate suppressed)", sol.OpenCount())
+	}
+	if got := sol.Cost(inst); got != 14 {
+		t.Fatalf("cost = %d, want 14", got)
+	}
+}
+
+func TestMettuPlaxtonSeparatedClusters(t *testing.T) {
+	// Two far-apart client groups, one cheap facility each: both must open.
+	inst := mustInstance(t, []int64{4, 4}, 4, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 1}, {Facility: 0, Client: 1, Cost: 1},
+		{Facility: 1, Client: 2, Cost: 1}, {Facility: 1, Client: 3, Cost: 1},
+		// Cross edges are very expensive.
+		{Facility: 0, Client: 2, Cost: 500}, {Facility: 0, Client: 3, Cost: 500},
+		{Facility: 1, Client: 0, Cost: 500}, {Facility: 1, Client: 1, Cost: 500},
+	})
+	sol, err := MettuPlaxton(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Open[0] || !sol.Open[1] {
+		t.Fatalf("open = %v, want both clusters served locally", sol.Open)
+	}
+	if got := sol.Cost(inst); got != 12 {
+		t.Fatalf("cost = %d, want 12", got)
+	}
+}
+
+func TestMettuPlaxtonConstantFactorOnMetric(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		inst, err := gen.Euclidean{M: 10, NC: 50}.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := MettuPlaxton(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := lp.LowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(sol.Cost(inst)) / float64(lb)
+		// MP proves 3 vs OPT; allow slack since we compare against the LP
+		// bound and the induced facility metric is approximate.
+		if ratio > 4.0 {
+			t.Fatalf("seed %d: MP ratio %.3f vs LP, want <= 4", seed, ratio)
+		}
+	}
+}
+
+func TestMettuPlaxtonNeverBelowOPT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 6, 9)
+		sol, err := MettuPlaxton(inst)
+		if err != nil {
+			return false
+		}
+		if fl.Validate(inst, sol) != nil {
+			return false
+		}
+		opt, err := Exact(inst)
+		if err != nil {
+			return false
+		}
+		return sol.Cost(inst) >= opt.Cost(inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfl/internal/fl"
+)
+
+func TestSoftCapGreedyTiny(t *testing.T) {
+	inst := tiny(t)
+	for _, cap := range []int{1, 2, 3, 100} {
+		sol, err := SoftCapGreedy(inst, cap)
+		if err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		if err := fl.ValidateCap(inst, cap, sol); err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+	}
+}
+
+func TestSoftCapGreedyRejectsBadCap(t *testing.T) {
+	if _, err := SoftCapGreedy(tiny(t), 0); err == nil {
+		t.Fatal("cap=0 should fail")
+	}
+}
+
+func TestSoftCapGreedyInfeasible(t *testing.T) {
+	inst := mustInstance(t, []int64{5}, 2, []fl.RawEdge{{Facility: 0, Client: 0, Cost: 1}})
+	if _, err := SoftCapGreedy(inst, 3); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestSoftCapGreedyPaysPerCopy(t *testing.T) {
+	// One facility, cost 10, capacity 2, four clients at cost 1: the
+	// solution needs 2 copies -> 2*10 + 4*1 = 24.
+	inst := mustInstance(t, []int64{10}, 4, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 1},
+		{Facility: 0, Client: 1, Cost: 1},
+		{Facility: 0, Client: 2, Cost: 1},
+		{Facility: 0, Client: 3, Cost: 1},
+	})
+	sol, err := SoftCapGreedy(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Copies[0] != 2 {
+		t.Fatalf("copies = %d, want 2", sol.Copies[0])
+	}
+	if got := sol.Cost(inst); got != 24 {
+		t.Fatalf("cost = %d, want 24", got)
+	}
+}
+
+func TestSoftCapGreedyCapacityShiftsChoice(t *testing.T) {
+	// Facility 0 is cheap per copy but tiny capacity; facility 1 is
+	// pricier but serves everyone at once. With cap pressure the greedy
+	// must weigh copies correctly.
+	inst := mustInstance(t, []int64{6, 14}, 4, []fl.RawEdge{
+		{Facility: 0, Client: 0, Cost: 1}, {Facility: 1, Client: 0, Cost: 2},
+		{Facility: 0, Client: 1, Cost: 1}, {Facility: 1, Client: 1, Cost: 2},
+		{Facility: 0, Client: 2, Cost: 1}, {Facility: 1, Client: 2, Cost: 2},
+		{Facility: 0, Client: 3, Cost: 1}, {Facility: 1, Client: 3, Cost: 2},
+	})
+	// cap=1: facility 0 costs 4 copies * 6 + 4 = 28; facility 1 costs
+	// 4*14+8 = 64... per copy both pay per client; f0: (6+1)=7/client,
+	// f1: (14+2)=16/client -> f0 wins everywhere.
+	sol1, err := SoftCapGreedy(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol1.Cost(inst); got != 28 {
+		t.Fatalf("cap=1 cost = %d, want 28", got)
+	}
+	// cap=4: f0 star = (6+4)/4 = 2.5/client; f1 = (14+8)/4 = 5.5 -> f0.
+	sol4, err := SoftCapGreedy(inst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol4.Cost(inst); got != 10 {
+		t.Fatalf("cap=4 cost = %d, want 10", got)
+	}
+	if sol4.Copies[0] != 1 || sol4.Copies[1] != 0 {
+		t.Fatalf("cap=4 copies = %v", sol4.Copies)
+	}
+}
+
+// TestSoftCapGreedyHugeCapMatchesUncapacitated: with capacity >= nc the
+// capacitated greedy must produce exactly the uncapacitated greedy's cost.
+func TestSoftCapGreedyHugeCapMatchesUncapacitated(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 6, 10)
+		capSol, err := SoftCapGreedy(inst, inst.NC()+1)
+		if err != nil {
+			return false
+		}
+		plain, err := Greedy(inst)
+		if err != nil {
+			return false
+		}
+		return capSol.Cost(inst) == plain.Cost(inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftCapGreedyMonotoneInCapacity: loosening the capacity never makes
+// the greedy solution more expensive... greedy is not globally monotone,
+// but cost at capacity c must always be at least the UNCAPACITATED cost
+// (every SCFL solution is a UFL solution after dropping copy counts is not
+// true — the reverse holds: UFL OPT <= SCFL OPT). We check that weaker,
+// always-true sandwich instead.
+func TestSoftCapGreedySandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng, 5, 9)
+		cap := rng.Intn(4) + 1
+		capSol, err := SoftCapGreedy(inst, cap)
+		if err != nil {
+			return false
+		}
+		if fl.ValidateCap(inst, cap, capSol) != nil {
+			return false
+		}
+		// Lower anchor: the exact UNCAPACITATED optimum (capacities only
+		// add copies, never reduce cost).
+		opt, err := Exact(inst)
+		if err != nil {
+			return false
+		}
+		return capSol.Cost(inst) >= opt.Cost(inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
