@@ -1,11 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race bench results quick-results examples clean
+.PHONY: all build check vet test test-race bench bench-engine results quick-results examples clean
 
-all: build vet test
+all: build check
 
 build:
 	go build ./...
+
+# The gate every change must pass: vet plus the full suite under the race
+# detector (the pooled engine makes -race mandatory, not optional).
+check: vet test-race
 
 vet:
 	go vet ./...
@@ -19,6 +23,10 @@ test-race:
 # One testing.B per evaluation artifact plus micro-benchmarks.
 bench:
 	go test -bench=. -benchmem ./...
+
+# Just the engine/protocol hot-path benchmarks (compare against BENCH_seed.json).
+bench-engine:
+	go test -run XXX -bench 'EngineRound|MakeOffer|DistributedSolve' -benchmem ./... 2>/dev/null | grep -E 'Benchmark|^ok' || true
 
 # Regenerate every table and figure (full size, ~15s) into results/.
 results:

@@ -183,6 +183,30 @@ func BenchmarkEngineRound(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRoundParallel is BenchmarkEngineRound on the persistent
+// worker pool (Workers = GOMAXPROCS).
+func BenchmarkEngineRoundParallel(b *testing.B) {
+	const n = 256
+	g := congest.NewGraph(n)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= 4; d++ {
+			v := (u + d) % n
+			_ = g.AddEdge(u, v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes := make([]congest.Node, n)
+		for j := range nodes {
+			nodes[j] = &broadcastNode{rounds: 20}
+		}
+		if _, err := congest.Run(g, nodes, congest.Config{Seed: int64(i), Parallel: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 type broadcastNode struct {
 	env    *congest.Env
 	rounds int

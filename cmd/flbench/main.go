@@ -1,18 +1,26 @@
 // Command flbench regenerates the evaluation: every table and figure in
 // EXPERIMENTS.md. Each experiment prints an aligned-text table to stdout
-// and, with -out, also writes one CSV per table for plotting.
+// and, with -out, also writes one CSV per table for plotting. With -json
+// the produced tables are additionally written as one machine-readable
+// report (the format of the committed BENCH_seed.json perf baseline), and
+// -cpuprofile / -memprofile capture pprof profiles of the run so hot-path
+// regressions can be diagnosed without editing code.
 //
 // Usage:
 //
-//	flbench [-exp all|E1..E12] [-quick] [-seed N] [-runs N] [-out DIR]
+//	flbench [-exp all|E1..E13] [-quick] [-seed N] [-runs N] [-out DIR]
+//	        [-json FILE] [-note STR] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,15 +38,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag  = fs.String("exp", "all", "experiment ids (comma separated, E1..E12) or 'all'")
-		quick    = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
-		seed     = fs.Int64("seed", 1, "master seed for instances and protocols")
-		runs     = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")
-		outDir   = fs.String("out", "", "directory for CSV output (optional)")
-		listOnly = fs.Bool("list", false, "list experiments and exit")
+		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E13) or 'all'")
+		quick      = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
+		seed       = fs.Int64("seed", 1, "master seed for instances and protocols")
+		runs       = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")
+		outDir     = fs.String("out", "", "directory for CSV output (optional)")
+		listOnly   = fs.Bool("list", false, "list experiments and exit")
+		jsonPath   = fs.String("json", "", "write all produced tables as one machine-readable JSON report")
+		note       = fs.String("note", "", "free-form annotation recorded in the -json report")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "flbench: create mem profile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "flbench: write mem profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *listOnly {
@@ -67,6 +108,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	params := bench.Params{Quick: *quick, Seed: *seed, Runs: *runs}
+	report := jsonReport{
+		Schema:     "dfl-bench/1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Seed:       *seed,
+		Note:       *note,
+	}
 	for _, e := range exps {
 		start := time.Now()
 		fmt.Fprintf(stdout, "== %s: %s ==\n   claim: %s\n\n", e.ID, e.Name, e.Claim)
@@ -85,10 +134,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 				}
 				fmt.Fprintf(stdout, "  wrote %s\n", name)
 			}
+			report.Tables = append(report.Tables, jsonTable{
+				Experiment: e.ID,
+				ID:         t.ID,
+				Title:      t.Title,
+				Note:       t.Note,
+				Columns:    t.Columns,
+				Rows:       t.Rows,
+			})
 		}
 		fmt.Fprintf(stdout, "  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
 	return nil
+}
+
+// jsonReport is the -json output: the full set of produced tables plus
+// enough environment metadata to compare reports across machines and
+// commits. BENCH_seed.json at the repo root is one of these.
+type jsonReport struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Quick      bool        `json:"quick"`
+	Seed       int64       `json:"seed"`
+	Note       string      `json:"note,omitempty"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Experiment string     `json:"experiment"`
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Note       string     `json:"note,omitempty"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+}
+
+func writeJSON(name string, r jsonReport) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", name, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(r)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("encode %s: %w", name, werr)
+	}
+	return cerr
 }
 
 func writeCSV(name string, t bench.Table) error {

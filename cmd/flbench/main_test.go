@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,6 +46,65 @@ func TestRunMultipleExperiments(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== E2:") || !strings.Contains(out.String(), "== E6:") {
 		t.Fatalf("missing experiments:\n%s", out.String())
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E6", "-quick", "-json", path, "-note", "unit test"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema     string `json:"schema"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		Note       string `json:"note"`
+		Tables     []struct {
+			Experiment string     `json:"experiment"`
+			ID         string     `json:"id"`
+			Columns    []string   `json:"columns"`
+			Rows       [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "dfl-bench/1" || report.GoMaxProcs < 1 || report.Note != "unit test" {
+		t.Fatalf("bad report metadata: %+v", report)
+	}
+	if len(report.Tables) == 0 || report.Tables[0].Experiment != "E6" {
+		t.Fatalf("bad report tables: %+v", report.Tables)
+	}
+	tab := report.Tables[0]
+	if len(tab.Rows) == 0 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("ragged table in report: %+v", tab)
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E6", "-quick", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if errBuf.Len() != 0 {
+		t.Fatalf("profile writing complained: %s", errBuf.String())
 	}
 }
 

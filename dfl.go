@@ -100,6 +100,8 @@ var (
 	WithSeed = core.WithSeed
 	// WithParallel runs the simulator with parallel round execution.
 	WithParallel = core.WithParallel
+	// WithWorkers bounds the parallel worker pool; 0 means GOMAXPROCS.
+	WithWorkers = core.WithWorkers
 	// WithBitLimit overrides the CONGEST message-size budget.
 	WithBitLimit = core.WithBitLimit
 	// WithLossyNetwork drops protocol messages with the given probability

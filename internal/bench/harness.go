@@ -68,6 +68,8 @@ func Experiments() []Experiment {
 			Claim: "per-copy capacities integrate into the same trade-off", Run: CapacitySweep},
 		{ID: "E12", Kind: "table", Name: "LP-gap audit (dual ascent vs exact LP vs OPT)",
 			Claim: "the cheap dual bound is within a small factor of the exact LP", Run: LPGapAudit},
+		{ID: "E13", Kind: "table", Name: "Engine throughput vs size and worker count",
+			Claim: "the simulator itself scales: rounds/sec tracks hardware, allocs/round stay flat", Run: EngineThroughput},
 	}
 }
 

@@ -4,10 +4,10 @@
 //
 // The engine runs an arbitrary set of Node state machines on an undirected
 // communication graph. Two runners are provided — a deterministic
-// sequential one and a goroutine-per-worker parallel one — and both produce
-// byte-identical executions for the same configuration, which the test
-// suite verifies. Message and bit counts, per-message size limits, and halt
-// detection are built in.
+// sequential one and a persistent-worker-pool parallel one — and both
+// produce byte-identical executions for the same configuration, which the
+// test suite verifies. Message and bit counts, per-message size limits, and
+// halt detection are built in.
 package congest
 
 import (
@@ -111,7 +111,9 @@ func (m Message) Bits() int { return len(m.Payload) * 8 }
 // round with the messages sent to this node in the previous round, sorted
 // by ascending sender id; it returns true when the node halts. A halted
 // node receives no further Round calls; messages addressed to it are
-// delivered to nobody but still counted.
+// delivered to nobody but still counted. Inbox messages (including their
+// payload bytes, which live in per-sender round arenas) are valid only for
+// the duration of the Round call — a node must copy anything it keeps.
 type Node interface {
 	Init(env *Env)
 	Round(round int, inbox []Message) (halt bool)
@@ -120,14 +122,24 @@ type Node interface {
 // Env is a node's private handle to the network: its identity, neighbour
 // list, deterministic private randomness, and staged outgoing messages.
 type Env struct {
-	id        int
-	graph     *Graph
-	rng       *rand.Rand
-	out       []Message
-	bitLimit  int
-	sendErr   error
-	sentTo    map[int]bool
-	roundSent int
+	id       int
+	graph    *Graph
+	rng      *rand.Rand
+	out      []Message
+	bitLimit int
+	sendErr  error
+	// sentTo records the round generation in which a neighbour was last
+	// sent to; comparing against gen makes the once-per-neighbour check
+	// O(1) per send with no per-round map clearing.
+	sentTo map[int]uint64
+	gen    uint64
+	// arena holds the payload bytes staged this round; prevArena holds the
+	// previous round's payloads, which recipients are reading this round.
+	// beginRound swaps them, so steady-state sends allocate nothing. A
+	// payload is therefore valid only until the end of the round it is
+	// delivered in — receivers must copy bytes they want to keep.
+	arena     []byte
+	prevArena []byte
 }
 
 // ID returns the node's id.
@@ -160,15 +172,18 @@ func (e *Env) Send(to int, payload []byte) {
 		e.sendErr = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d", e.id, len(payload)*8, e.bitLimit)
 		return
 	}
-	if e.sentTo[to] {
+	if e.sentTo[to] == e.gen {
 		e.sendErr = fmt.Errorf("congest: node %d sent twice to %d in one round", e.id, to)
 		return
 	}
-	e.sentTo[to] = true
-	// Copy the payload so node-local buffers can be reused by the caller.
-	p := make([]byte, len(payload))
-	copy(p, payload)
-	e.out = append(e.out, Message{From: e.id, To: to, Payload: p})
+	e.sentTo[to] = e.gen
+	// Copy the payload into the round arena so node-local buffers can be
+	// reused by the caller without a per-message allocation. If the append
+	// grows the arena, slices handed out earlier keep pointing into the old
+	// backing array, which stays valid (and immutable) until collected.
+	n := len(e.arena)
+	e.arena = append(e.arena, payload...)
+	e.out = append(e.out, Message{From: e.id, To: to, Payload: e.arena[n:len(e.arena):len(e.arena)]})
 }
 
 // Broadcast stages the same payload to every neighbour.
@@ -180,7 +195,10 @@ func (e *Env) Broadcast(payload []byte) {
 
 func (e *Env) beginRound() {
 	e.out = e.out[:0]
-	for k := range e.sentTo {
-		delete(e.sentTo, k)
-	}
+	e.gen++
+	// Double-buffer swap: the payloads staged last round (e.arena) are
+	// being read by their recipients during this round, so they move to
+	// prevArena; the round before last's payloads are dead and their
+	// storage becomes this round's staging arena.
+	e.arena, e.prevArena = e.prevArena[:0], e.arena
 }

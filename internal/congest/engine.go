@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
-	"sync"
 )
 
 // Config controls one engine run.
@@ -19,13 +17,16 @@ type Config struct {
 	Seed int64
 	// MaxRounds aborts runaway protocols. 0 means DefaultMaxRounds.
 	MaxRounds int
-	// Parallel selects the goroutine-per-worker runner.
+	// Parallel selects the persistent worker-pool runner: Workers
+	// goroutines started once per Run and reused every round.
 	Parallel bool
 	// Workers bounds parallel workers; 0 means GOMAXPROCS.
 	Workers int
 	// Observer, when non-nil, is invoked after every round with the round
 	// number and the messages delivered in that round (sequential runner
-	// order). Used by the tracing tool; nil in production runs.
+	// order). The slice is reused between rounds and is only valid for the
+	// duration of the call. Used by the tracing tool; nil in production
+	// runs.
 	Observer func(round int, delivered []Message)
 	// Faults injects message drops and node crashes; the zero value is a
 	// fault-free run.
@@ -39,9 +40,11 @@ const DefaultMaxRounds = 1 << 20
 // budget.
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
-// Stats reports what one run cost in the model's own currency.
+// Stats reports what one run cost in the model's own currency. On error
+// returns (round limit, send violation) the counters — including Rounds —
+// reflect the rounds actually executed before the abort.
 type Stats struct {
-	Rounds         int   // rounds executed until global halt
+	Rounds         int   // rounds executed (until global halt or abort)
 	Messages       int64 // total messages sent
 	Bits           int64 // total payload bits sent
 	MaxMessageBits int   // largest single payload observed
@@ -68,7 +71,10 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			graph:    g,
 			rng:      rand.New(rand.NewSource(nodeSeed(cfg.Seed, id))),
 			bitLimit: cfg.BitLimit,
-			sentTo:   make(map[int]bool),
+			sentTo:   make(map[int]uint64),
+			// gen starts at 1 so an absent sentTo entry (zero value) never
+			// collides with a live generation.
+			gen: 1,
 		}
 		nodes[id].Init(envs[id])
 	}
@@ -88,9 +94,19 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var pool *workerPool
+	if cfg.Parallel && workers > 1 && len(nodes) > 0 {
+		pool = newWorkerPool(nodes, envs, halted, inboxes, workers)
+		defer pool.stop()
+	}
+
+	// delivered is the observer's per-round view; reused across rounds and
+	// only populated when an observer is installed.
+	var delivered []Message
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
+			stats.Rounds = round
 			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
 		}
 		for id, at := range cfg.Faults.CrashAtRound {
@@ -111,8 +127,8 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			return stats, nil
 		}
 
-		if cfg.Parallel && workers > 1 {
-			runRoundParallel(nodes, envs, halted, inboxes, round, workers)
+		if pool != nil {
+			pool.runRound(round)
 		} else {
 			for id, n := range nodes {
 				if halted[id] {
@@ -123,12 +139,22 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			}
 		}
 
-		// Deterministic merge: gather staged messages in node-id order,
-		// account for them, and build next-round inboxes.
-		var delivered []Message
+		// Deterministic merge: walk staged messages in ascending sender-id
+		// order, account for them, and bucket them straight into next-round
+		// inboxes. Because each sender stages at most one message per
+		// recipient per round (enforced by Env.Send) and senders are walked
+		// in id order, every inbox comes out sorted by sender id with no
+		// per-inbox sort — an invariant the engine tests verify.
+		// The merge reuses the inbox and delivered buffers, so steady-state
+		// rounds allocate nothing here.
+		delivered = delivered[:0]
+		for id := range inboxes {
+			inboxes[id] = inboxes[id][:0]
+		}
 		for id := range nodes {
 			env := envs[id]
 			if env.sendErr != nil {
+				stats.Rounds = round + 1
 				return stats, env.sendErr
 			}
 			for _, msg := range env.out {
@@ -141,66 +167,23 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 					stats.Dropped++
 					continue
 				}
-				delivered = append(delivered, msg)
+				if cfg.Observer != nil {
+					delivered = append(delivered, msg)
+				}
+				// Messages to halted nodes are delivered to nobody but
+				// still counted (and still observed).
+				if !halted[msg.To] {
+					inboxes[msg.To] = append(inboxes[msg.To], msg)
+				}
 			}
 			// A node that halts this round may have sent final messages;
 			// drain them so they are not re-counted on later rounds.
 			env.out = env.out[:0]
 		}
-		for id := range inboxes {
-			inboxes[id] = inboxes[id][:0]
-		}
-		for _, msg := range delivered {
-			if !halted[msg.To] {
-				inboxes[msg.To] = append(inboxes[msg.To], msg)
-			}
-		}
-		for id := range inboxes {
-			sortByFrom(inboxes[id])
-		}
 		if cfg.Observer != nil {
 			cfg.Observer(round, delivered)
 		}
 	}
-}
-
-// runRoundParallel executes one round with a bounded worker pool. Each
-// worker owns a contiguous stripe of node ids; all workers are joined before
-// the deterministic merge, so the execution is indistinguishable from the
-// sequential runner.
-func runRoundParallel(nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, round, workers int) {
-	n := len(nodes)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				if halted[id] {
-					continue
-				}
-				envs[id].beginRound()
-				halted[id] = nodes[id].Round(round, inboxes[id])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-func sortByFrom(msgs []Message) {
-	sort.Slice(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
 }
 
 // nodeSeed mixes the run seed with the node id (splitmix64 finalizer) so

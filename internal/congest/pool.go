@@ -1,0 +1,110 @@
+package congest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool executes protocol rounds with a fixed set of long-lived
+// goroutines. It replaces the per-round goroutine spawn of the original
+// runner: workers are started once per Run and reused for every round,
+// synchronized on a round barrier (one start token per worker per round,
+// joined with a WaitGroup before the deterministic merge).
+//
+// Work is claimed dynamically in chunks off an atomic cursor rather than
+// carved into static stripes. Halted nodes cluster (a protocol's facilities
+// and clients halt in id-contiguous blocks), so static stripes leave some
+// workers idle while one worker drains the only still-active region;
+// chunk claiming keeps all workers busy regardless of where the live nodes
+// sit.
+//
+// Determinism: workers only write per-node state (envs[id], halted[id]) for
+// the node ids they claim, and every outgoing message is staged in the
+// sending node's own env. The merge — the only order-sensitive step — runs
+// on the caller's goroutine after the barrier, in ascending node-id order,
+// exactly as the sequential runner does. Claim order therefore cannot leak
+// into the execution (invariant I5, verified byte-for-byte by the
+// equivalence tests).
+type workerPool struct {
+	nodes   []Node
+	envs    []*Env
+	halted  []bool
+	inboxes [][]Message
+
+	workers int
+	chunk   int          // node ids claimed per cursor bump
+	round   int          // round being executed; written before release
+	cursor  atomic.Int64 // next unclaimed node id
+	start   chan struct{}
+	wg      sync.WaitGroup // joins the workers of one round
+}
+
+// newWorkerPool starts `workers` goroutines that live until stop. The
+// shared slices are the engine's own; the pool never reallocates them.
+func newWorkerPool(nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, workers int) *workerPool {
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	// Chunks small enough to rebalance around halted-node clusters, large
+	// enough that the atomic cursor is not a contention point.
+	chunk := len(nodes) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	p := &workerPool{
+		nodes:   nodes,
+		envs:    envs,
+		halted:  halted,
+		inboxes: inboxes,
+		workers: workers,
+		chunk:   chunk,
+		start:   make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// runRound executes one round across the pool and blocks until every node
+// has run. The caller owns all shared state before and after this call:
+// the start-token send publishes the round's inputs to the workers, and the
+// WaitGroup join publishes the workers' writes back.
+func (p *workerPool) runRound(round int) {
+	p.round = round
+	p.cursor.Store(0)
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.start <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the worker goroutines. The pool must be idle (no round in
+// flight).
+func (p *workerPool) stop() { close(p.start) }
+
+func (p *workerPool) worker() {
+	for range p.start { // one token per round; exits when stop closes the channel
+		n := int64(len(p.nodes))
+		size := int64(p.chunk)
+		for {
+			lo := p.cursor.Add(size) - size
+			if lo >= n {
+				break
+			}
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			for id := lo; id < hi; id++ {
+				if p.halted[id] {
+					continue
+				}
+				p.envs[id].beginRound()
+				p.halted[id] = p.nodes[id].Round(p.round, p.inboxes[id])
+			}
+		}
+		p.wg.Done()
+	}
+}

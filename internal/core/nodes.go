@@ -22,21 +22,44 @@ import (
 // every remaining client to its cheapest facility.
 
 // facilityNode is facility i's state machine.
+//
+// The hot path is the best-star computation: the sequential reference
+// rescanned (and reallocated) the full edge list on every offer iteration.
+// Here the node keeps a dense per-edge-position activity index instead of
+// hash sets, caches the compacted active prefix (positions + the implied
+// cost-prefix sums) together with the resulting best star, and invalidates
+// that cache only when the active set actually changes — a DONE or a
+// CONNECT removing a client, which are the only events that can move the
+// best star (opening charges change only inside connect, which also
+// invalidates). Iterations between invalidations reuse the cached star at
+// zero scan cost, and recomputations reuse the scratch buffers, so the
+// steady state allocates nothing.
 type facilityNode struct {
 	inst *fl.Instance
 	idx  int // facility index == node id
 	cfg  Config
 	d    Derived
 
-	env        *congest.Env
-	active     map[int]bool  // client node ids still unconnected, as far as i knows
-	costOf     map[int]int64 // client node id -> connection cost
-	edges      []clientEdge  // ascending cost
-	open       bool
-	copies     int          // open copies (soft-capacitated mode; open == copies > 0)
-	load       int          // clients connected through this facility
-	offered    map[int]bool // client node ids offered in the current iteration
-	offerClass int          // class of the star offered this iteration
+	env    *congest.Env
+	edges  []clientEdge // ascending cost, immutable after construction
+	posOf  map[int]int  // client node id -> position in edges (message decode only)
+	active []bool       // by edge position: client still unconnected, as far as i knows
+	open   bool
+	copies int // open copies (soft-capacitated mode; open == copies > 0)
+	load   int // clients connected through this facility
+
+	// Cached best star over the active clients; valid while !starDirty.
+	starDirty bool
+	starPos   []int // edge positions of active clients, ascending cost (reused scratch)
+	bestLen   int   // prefix of starPos forming the best star; 0 = no active client
+	bestNum   int64 // best-star effectiveness numerator (cost + opening charge)
+	bestDen   int64 // best-star effectiveness denominator (= star size)
+	bestClass int   // quantized class of the best star; -1 = above every threshold
+
+	offeredAt  []bool // by edge position: offered in the current iteration
+	offeredPos []int  // positions offered this iteration (for O(|offered|) reset)
+	offerClass int    // class of the star offered this iteration
+	granted    []int  // scratch: client node ids granted this iteration
 	buf        []byte
 
 	// openedForced reports whether the facility opened only during cleanup
@@ -55,23 +78,36 @@ func newFacilityNode(inst *fl.Instance, i int, cfg Config, d Derived) *facilityN
 	m := inst.M()
 	fes := inst.FacilityEdges(i)
 	f := &facilityNode{
-		inst:    inst,
-		idx:     i,
-		cfg:     cfg,
-		d:       d,
-		active:  make(map[int]bool, len(fes)),
-		costOf:  make(map[int]int64, len(fes)),
-		edges:   make([]clientEdge, 0, len(fes)),
-		offered: make(map[int]bool),
-		buf:     make([]byte, 0, 8),
+		inst:      inst,
+		idx:       i,
+		cfg:       cfg,
+		d:         d,
+		edges:     make([]clientEdge, 0, len(fes)),
+		posOf:     make(map[int]int, len(fes)),
+		active:    make([]bool, len(fes)),
+		starDirty: true,
+		starPos:   make([]int, 0, len(fes)),
+		offeredAt: make([]bool, len(fes)),
+		buf:       make([]byte, 0, 8),
 	}
-	for _, e := range fes { // already sorted by ascending cost
+	for p, e := range fes { // already sorted by ascending cost
 		node := m + e.To
-		f.active[node] = true
-		f.costOf[node] = e.Cost
+		f.posOf[node] = p
+		f.active[p] = true
 		f.edges = append(f.edges, clientEdge{node: node, cost: e.Cost})
 	}
 	return f
+}
+
+// deactivate removes one client from the active set and invalidates the
+// cached best star. It is the only way the active set shrinks.
+func (f *facilityNode) deactivate(node int) {
+	pos, ok := f.posOf[node]
+	if !ok || !f.active[pos] {
+		return
+	}
+	f.active[pos] = false
+	f.starDirty = true
 }
 
 func (f *facilityNode) Init(env *congest.Env) { f.env = env }
@@ -93,7 +129,7 @@ func (f *facilityNode) Round(r int, inbox []congest.Message) bool {
 func (f *facilityNode) processDone(inbox []congest.Message) {
 	for _, msg := range inbox {
 		if len(msg.Payload) == 1 && msg.Payload[0] == kindDone {
-			delete(f.active, msg.From)
+			f.deactivate(msg.From)
 		}
 	}
 }
@@ -115,58 +151,72 @@ func (f *facilityNode) phaseOf(r int) int {
 // sequential greedy: a facility never claims clients beyond the point that
 // minimizes its cost-effectiveness. The class rides along in the OFFER so
 // clients can prefer better stars.
+//
+// The star is served from the incremental cache: recomputeBestStar runs
+// only after an invalidation (a DONE or CONNECT shrank the active set),
+// otherwise the iteration reuses the cached prefix verbatim.
 func (f *facilityNode) makeOffer(r int) {
-	for k := range f.offered {
-		delete(f.offered, k)
+	for _, pos := range f.offeredPos {
+		f.offeredAt[pos] = false
 	}
-	// One scan over active clients (edges are cost sorted): track the
-	// prefix minimizing (openingCharge + prefix sum) / size. In
-	// uncapacitated mode the opening charge is f once (zero if already
-	// open); in soft-capacitated mode every copy the prefix spills into is
-	// charged again.
-	var sum, t int64
-	var bestNum, bestDen int64
-	bestLen := 0
-	prefix := make([]int, 0, len(f.edges))
-	for _, e := range f.edges {
-		if !f.active[e.node] {
-			continue
-		}
-		prefix = append(prefix, e.node)
-		sum = fl.AddSat(sum, e.cost)
-		t++
-		total := fl.AddSat(sum, f.openingCharge(int(t)))
-		if bestLen == 0 || fl.RatioLess(total, t, bestNum, bestDen) {
-			bestNum, bestDen = total, t
-			bestLen = len(prefix)
-		}
+	f.offeredPos = f.offeredPos[:0]
+	if f.starDirty {
+		f.recomputeBestStar()
 	}
-	if bestLen == 0 {
-		return
+	if f.bestLen == 0 || f.bestClass < 0 || f.bestClass > f.phaseOf(r) {
+		return // no star, or not yet eligible in this phase
 	}
-	class := -1
-	for q := 0; q < f.d.Phases; q++ {
-		if fl.RatioLessEq(bestNum, bestDen, f.d.Threshold(q), 1) {
-			class = q
-			break
-		}
-	}
-	if class < 0 || class > f.phaseOf(r) {
-		return // the star is not yet eligible in this phase
-	}
-	f.offerClass = class
+	f.offerClass = f.bestClass
 	var prio uint32
 	if f.cfg.DeterministicPriorities {
 		prio = uint32(f.idx)
 	} else {
 		prio = f.env.Rand().Uint32()
 	}
-	fine := bits.Len64(uint64(bestNum / bestDen))
-	payload := encodeOffer(f.buf, class, fine, prio)
+	fine := bits.Len64(uint64(f.bestNum / f.bestDen))
+	payload := encodeOffer(f.buf, f.bestClass, fine, prio)
 	f.buf = payload
-	for _, node := range prefix[:bestLen] {
-		f.offered[node] = true
-		f.env.Send(node, payload)
+	for _, pos := range f.starPos[:f.bestLen] {
+		f.offeredAt[pos] = true
+		f.offeredPos = append(f.offeredPos, pos)
+		f.env.Send(f.edges[pos].node, payload)
+	}
+}
+
+// recomputeBestStar rebuilds the cached best star: one scan over the
+// cost-sorted edge list compacts the active positions into starPos while
+// tracking the prefix minimizing (openingCharge + cost-prefix sum) / size.
+// In uncapacitated mode the opening charge is f once (zero if already
+// open); in soft-capacitated mode every copy the prefix spills into is
+// charged again. The resulting star and its quantized class stay valid
+// until the active set changes, because every input of this scan — the
+// active flags, open/load/copies, the thresholds — is constant in between.
+func (f *facilityNode) recomputeBestStar() {
+	f.starDirty = false
+	f.starPos = f.starPos[:0]
+	f.bestLen, f.bestNum, f.bestDen, f.bestClass = 0, 0, 0, -1
+	var sum, t int64
+	for pos := range f.edges {
+		if !f.active[pos] {
+			continue
+		}
+		f.starPos = append(f.starPos, pos)
+		sum = fl.AddSat(sum, f.edges[pos].cost)
+		t++
+		total := fl.AddSat(sum, f.openingCharge(int(t)))
+		if f.bestLen == 0 || fl.RatioLess(total, t, f.bestNum, f.bestDen) {
+			f.bestNum, f.bestDen = total, t
+			f.bestLen = len(f.starPos)
+		}
+	}
+	if f.bestLen == 0 {
+		return
+	}
+	for q := 0; q < f.d.Phases; q++ {
+		if fl.RatioLessEq(f.bestNum, f.bestDen, f.d.Threshold(q), 1) {
+			f.bestClass = q
+			return
+		}
 	}
 }
 
@@ -191,18 +241,20 @@ func (f *facilityNode) openingCharge(extra int) int64 {
 // processGrants opens the facility if the granted sub-star is still within
 // slack of the phase threshold, and connects the granted clients.
 func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
-	var granted []int
+	granted := f.granted[:0]
 	var sum int64
 	for _, msg := range inbox {
 		if len(msg.Payload) != 1 || msg.Payload[0] != kindGrant {
 			continue
 		}
-		if !f.offered[msg.From] {
+		pos, ok := f.posOf[msg.From]
+		if !ok || !f.offeredAt[pos] {
 			continue // stale or malicious grant
 		}
 		granted = append(granted, msg.From)
-		sum = fl.AddSat(sum, f.costOf[msg.From])
+		sum = fl.AddSat(sum, f.edges[pos].cost)
 	}
+	f.granted = granted
 	if len(granted) == 0 {
 		return
 	}
@@ -228,7 +280,7 @@ func (f *facilityNode) connect(nodes []int) {
 	}
 	f.open = true
 	for _, node := range nodes {
-		delete(f.active, node)
+		f.deactivate(node)
 		f.env.Send(node, payloadConnect)
 	}
 }

@@ -30,6 +30,7 @@ type Report struct {
 type options struct {
 	seed     int64
 	parallel bool
+	workers  int
 	bitLimit int // <0: engine default from network size; 0: unlimited
 	observer func(round int, delivered []congest.Message)
 	dropProb float64
@@ -42,9 +43,13 @@ type Option func(*options)
 // reproducible from (instance, config, seed).
 func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
 
-// WithParallel runs the simulator with a goroutine-per-worker round
+// WithParallel runs the simulator with its persistent worker-pool round
 // executor. The execution is identical to the sequential one.
 func WithParallel(parallel bool) Option { return func(o *options) { o.parallel = parallel } }
+
+// WithWorkers bounds the worker-pool size used by WithParallel; 0 means
+// GOMAXPROCS. It has no effect on a sequential run.
+func WithWorkers(workers int) Option { return func(o *options) { o.workers = workers } }
 
 // WithBitLimit overrides the CONGEST message-size budget in bits
 // (0 disables the check). The default is congest.SuggestedBitLimit of the
@@ -166,6 +171,7 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 		Seed:      o.seed,
 		MaxRounds: d.TotalRounds + 4,
 		Parallel:  o.parallel,
+		Workers:   o.workers,
 		Observer:  o.observer,
 		Faults:    faults,
 	})
