@@ -1,18 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test test-race bench bench-engine results quick-results examples clean
+.PHONY: all build check vet lint test test-race bench bench-engine results quick-results examples clean
 
 all: build check
 
 build:
 	go build ./...
 
-# The gate every change must pass: vet plus the full suite under the race
-# detector (the pooled engine makes -race mandatory, not optional).
-check: vet test-race
+# The gate every change must pass: vet, the custom analyzer suite, and the
+# full tests under the race detector (the pooled engine makes -race
+# mandatory, not optional).
+check: vet lint test-race
 
 vet:
 	go vet ./...
+
+# flvet enforces the determinism and CONGEST contracts statically:
+# detrand, maporder, congestmsg, poolonly (see DESIGN.md "Static
+# contracts"). cmd/flvet's own tests run the same suite, so `make test`
+# regresses too if an analyzer starts firing.
+lint:
+	go run ./cmd/flvet ./...
 
 test:
 	go test ./...
@@ -24,9 +32,13 @@ test-race:
 bench:
 	go test -bench=. -benchmem ./...
 
-# Just the engine/protocol hot-path benchmarks (compare against BENCH_seed.json).
+# Just the engine/protocol hot-path benchmarks (compare against
+# BENCH_seed.json). The output filter must not swallow failures: capture
+# the run first, propagate its exit status (printing the full output on
+# error), and only then trim the noise.
 bench-engine:
-	go test -run XXX -bench 'EngineRound|MakeOffer|DistributedSolve' -benchmem ./... 2>/dev/null | grep -E 'Benchmark|^ok' || true
+	@out=$$(go test -run XXX -bench 'EngineRound|MakeOffer|DistributedSolve' -benchmem ./... 2>&1) || { printf '%s\n' "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | grep -E 'Benchmark|^ok' || true
 
 # Regenerate every table and figure (full size, ~15s) into results/.
 results:

@@ -1,0 +1,87 @@
+// Command flvet is the multichecker driver for the repo's custom static
+// analyzers (internal/analysis): detrand, maporder, congestmsg, and
+// poolonly — the compile-time-checked half of the simulator's determinism
+// and CONGEST contracts. `make lint` (folded into `make check`) runs it
+// over ./..., so every change is gated on the suite.
+//
+// Usage:
+//
+//	flvet [-only name[,name]] [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module root.
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dfl/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("flvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the analyzers and exit")
+	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "flvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "flvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "flvet: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, suite) {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "flvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

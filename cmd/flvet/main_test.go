@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"dfl/internal/analysis"
+)
+
+// TestRepoPassesSuite is the regression gate: the repository itself must
+// stay clean under every analyzer, so `go test ./...` (tier 1) fails the
+// moment a protocol package reintroduces unseeded randomness, an
+// order-leaking map walk, an unregistered payload, or a stray goroutine —
+// even if someone forgets to run `make lint`.
+func TestRepoPassesSuite(t *testing.T) {
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	sawProtocol := false
+	for _, pkg := range pkgs {
+		if pkg.ImportPath == "dfl/internal/congest" {
+			sawProtocol = true
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
+			t.Errorf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if !sawProtocol {
+		t.Error("./... did not include dfl/internal/congest; the gate is not covering the protocol packages")
+	}
+}

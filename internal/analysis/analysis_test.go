@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+// The golden tests are the analyzers' acceptance criteria: each testdata
+// package seeds real violations that must fire and legitimate patterns
+// (including every //flvet: exemption form) that must stay silent.
+
+func TestDetrandGolden(t *testing.T)    { RunGolden(t, Detrand, "detrand") }
+func TestMaporderGolden(t *testing.T)   { RunGolden(t, Maporder, "maporder") }
+func TestCongestmsgGolden(t *testing.T) { RunGolden(t, Congestmsg, "congestmsg") }
+func TestPoolonlyGolden(t *testing.T)   { RunGolden(t, Poolonly, "poolonly") }
+
+func TestSuiteMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Packages) == 0 {
+			t.Errorf("analyzer %s must scope itself to explicit packages", a.Name)
+		}
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	if !Poolonly.AppliesTo("dfl/internal/congest") {
+		t.Error("poolonly must apply to internal/congest")
+	}
+	if Poolonly.AppliesTo("dfl/internal/core") {
+		t.Error("poolonly must not apply to internal/core")
+	}
+	all := &Analyzer{Name: "x"}
+	if !all.AppliesTo("anything") {
+		t.Error("empty Packages means every package")
+	}
+}
+
+func TestCutDirective(t *testing.T) {
+	cases := []struct {
+		body, name, args string
+		ok               bool
+	}{
+		{"ordered", "ordered", "", true},
+		{"ordered keys sorted below", "ordered", "keys sorted below", true},
+		{"encoder maxbits=88", "encoder", "maxbits=88", true},
+		{"size=64 bound argued in DESIGN.md", "size", "64 bound argued in DESIGN.md", true},
+		{"orderedX", "ordered", "", false},
+		{"encoder", "bounded", "", false},
+	}
+	for _, c := range cases {
+		args, ok := cutDirective(c.body, c.name)
+		if ok != c.ok || args != c.args {
+			t.Errorf("cutDirective(%q, %q) = (%q, %v), want (%q, %v)", c.body, c.name, args, ok, c.args, c.ok)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Congestmsg mechanically backs the O(log n)-bit message claim: every
+// payload handed to Env.Send/Broadcast must be traceable to a bounded
+// source —
+//
+//   - a function annotated `//flvet:encoder maxbits=<bits>` (whose bound
+//     the runtime registry and the wire fuzz targets then hold it to),
+//   - a fixed-size []byte/[N]byte literal (possibly bound to a
+//     package-level payload var), or
+//   - a local variable assigned only from such sources.
+//
+// It also checks declared payload structs: a type annotated
+// `//flvet:payload` may contain only fixed-size fields, with
+// `//flvet:size=<bits>` required on any slice/map/string/pointer field. A
+// send site the analyzer cannot trace but that is bounded for
+// out-of-band reasons may be annotated `//flvet:bounded`.
+var Congestmsg = &Analyzer{
+	Name: "congestmsg",
+	Doc:  "require every engine payload to come from a size-bounded, annotated encoder",
+	Packages: []string{
+		"dfl/internal/core",
+		"dfl/internal/congest",
+	},
+	Run: runCongestmsg,
+}
+
+func runCongestmsg(pass *Pass) {
+	encoders := collectEncoders(pass)
+	boundedVars := collectBoundedVars(pass, encoders)
+	checkPayloadStructs(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The engine's own Env methods (Broadcast forwarding to Send)
+			// relay caller payloads; the callers are the checked parties.
+			if recv := receiverOfFunc(pass.Info, fd); recv != nil &&
+				recv.Obj().Name() == "Env" && pass.Pkg.Name() == "congest" {
+				continue
+			}
+			checkSendSites(pass, fd, encoders, boundedVars)
+		}
+	}
+}
+
+// collectEncoders gathers the package's annotated encoder functions and
+// validates their annotations: a positive maxbits bound and a []byte
+// result, the shape every wire encoder here has.
+func collectEncoders(pass *Pass) map[*types.Func]int {
+	encoders := map[*types.Func]int{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			args, ok := docDirective(fd.Doc, "encoder")
+			if !ok {
+				continue
+			}
+			bits := parseMaxBits(args)
+			if bits <= 0 {
+				pass.Reportf(fd.Pos(), "//flvet:encoder on %s needs a positive maxbits=<bits> bound", fd.Name.Name)
+				continue
+			}
+			if !returnsByteSlice(pass, fd) {
+				pass.Reportf(fd.Pos(), "//flvet:encoder %s must return []byte as its first result", fd.Name.Name)
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				encoders[fn] = bits
+			}
+		}
+	}
+	return encoders
+}
+
+func parseMaxBits(args string) int {
+	for _, field := range strings.Fields(args) {
+		if v, ok := strings.CutPrefix(field, "maxbits="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+func returnsByteSlice(pass *Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isByteSliceType(sig.Results().At(0).Type())
+}
+
+func isByteSliceType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// collectBoundedVars gathers package-level vars whose initializer is a
+// bounded payload expression (the payloadDone = []byte{kindDone} idiom).
+func collectBoundedVars(pass *Pass, encoders map[*types.Func]int) map[*types.Var]bool {
+	bounded := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					if !boundedPayloadExpr(pass, vs.Values[i], nil, encoders, nil, 0) {
+						continue
+					}
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						bounded[v] = true
+					}
+				}
+			}
+		}
+	}
+	return bounded
+}
+
+// checkSendSites verifies the payload argument of every Env.Send/Broadcast
+// call inside one function.
+func checkSendSites(pass *Pass, fd *ast.FuncDecl, encoders map[*types.Func]int, boundedVars map[*types.Var]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := envMethodCall(pass.Info, call)
+		if !ok {
+			return true
+		}
+		var payload ast.Expr
+		switch {
+		case method == "Send" && len(call.Args) == 2:
+			payload = call.Args[1]
+		case method == "Broadcast" && len(call.Args) == 1:
+			payload = call.Args[0]
+		default:
+			return true
+		}
+		if _, exempt := pass.directiveAt(call.Pos(), "bounded"); exempt {
+			return true
+		}
+		if !boundedPayloadExpr(pass, payload, fd.Body, encoders, boundedVars, 0) {
+			pass.Reportf(payload.Pos(), "payload %s of Env.%s is not traceable to a //flvet:encoder function or fixed-size literal; unbounded payloads void the O(log n)-bit CONGEST budget (annotate //flvet:bounded only with an out-of-band size argument)", exprString(payload), method)
+		}
+		return true
+	})
+}
+
+// boundedPayloadExpr reports whether e provably has a bounded encoded
+// size. scope, when non-nil, is the function body searched for assignments
+// to e; depth caps chained-assignment recursion.
+func boundedPayloadExpr(pass *Pass, e ast.Expr, scope *ast.BlockStmt, encoders map[*types.Func]int, boundedVars map[*types.Var]bool, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && boundedVars[v] {
+			return true
+		}
+		return assignedOnlyBounded(pass, e, scope, encoders, boundedVars, depth)
+	case *ast.SelectorExpr:
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && boundedVars[v] {
+			return true
+		}
+		return assignedOnlyBounded(pass, e, scope, encoders, boundedVars, depth)
+	case *ast.CompositeLit:
+		// []byte{...} and [N]byte{...} literals have a compile-time length.
+		t := pass.Info.TypeOf(e)
+		return t != nil && (isByteSliceType(t) || isByteArrayType(t))
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.Info, e); fn != nil {
+			if _, ok := encoders[fn]; ok {
+				return true
+			}
+		}
+		return false
+	case *ast.SliceExpr:
+		return boundedPayloadExpr(pass, e.X, scope, encoders, boundedVars, depth+1)
+	}
+	return false
+}
+
+func isByteArrayType(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// assignedOnlyBounded scans scope for assignments whose left-hand side is
+// (syntactically) the same expression as target and requires every such
+// assignment's source to be bounded. Reassigning a payload variable from
+// an unbounded source anywhere in the function therefore taints it.
+func assignedOnlyBounded(pass *Pass, target ast.Expr, scope *ast.BlockStmt, encoders map[*types.Func]int, boundedVars map[*types.Var]bool, depth int) bool {
+	if scope == nil {
+		return false
+	}
+	targetStr := exprString(target)
+	found, allBounded := false, true
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !allBounded {
+			return allBounded
+		}
+		for i, lhs := range as.Lhs {
+			if exprString(lhs) != targetStr {
+				continue
+			}
+			found = true
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				// Multi-value assignment from one call: only an encoder
+				// call's first result would be bounded; handle the common
+				// single-value case and treat the rest as unbounded.
+				rhs = as.Rhs[0]
+				if len(as.Lhs) > 1 {
+					allBounded = false
+					return false
+				}
+			}
+			if rhs == nil || !boundedPayloadExpr(pass, rhs, scope, encoders, boundedVars, depth+1) {
+				allBounded = false
+				return false
+			}
+		}
+		return true
+	})
+	return found && allBounded
+}
+
+// checkPayloadStructs enforces fixed-size fields on //flvet:payload types.
+func checkPayloadStructs(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onType := docDirective(ts.Doc, "payload")
+				_, onDecl := docDirective(gd.Doc, "payload")
+				if !onType && !onDecl {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//flvet:payload %s must be a struct type", ts.Name.Name)
+					continue
+				}
+				for _, field := range st.Fields.List {
+					t := pass.Info.TypeOf(field.Type)
+					if t == nil || fixedSizeType(t, 0) {
+						continue
+					}
+					if _, sized := docDirective(field.Doc, "size"); sized {
+						continue
+					}
+					if _, sized := docDirective(field.Comment, "size"); sized {
+						continue
+					}
+					pass.Reportf(field.Pos(), "payload type %s: field of unbounded type %s needs //flvet:size=<bits> or a fixed-size representation", ts.Name.Name, t.String())
+				}
+			}
+		}
+	}
+}
+
+// fixedSizeType reports whether every value of t has one machine-level
+// encoded size: booleans, fixed-width numerics, and arrays/structs built
+// from them. Strings, slices, maps, pointers, channels, funcs, and
+// interfaces are unbounded.
+func fixedSizeType(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.String, types.UnsafePointer, types.UntypedString, types.UntypedNil:
+			return false
+		}
+		return true
+	case *types.Array:
+		return fixedSizeType(t.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if !fixedSizeType(t.Field(i).Type(), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

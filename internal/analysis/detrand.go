@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids nondeterministic inputs in protocol packages: global
+// math/rand functions (the process-wide generator is shared, lock-ordered,
+// and unseeded), wall-clock reads, and multi-case selects (the runtime
+// picks a ready case uniformly at random). Protocol randomness must come
+// from the seeded *rand.Rand the engine plumbs through Env.Rand()/Config —
+// that is the entire basis of the byte-identical sequential/parallel
+// equivalence. Exempt a call with //flvet:nondet (same line or line above)
+// only when its result provably never reaches protocol state.
+var Detrand = &Analyzer{
+	Name:     "detrand",
+	Doc:      "forbid unseeded randomness, wall-clock reads, and racy selects in protocol packages",
+	Packages: protocolPackages,
+	Run:      runDetrand,
+}
+
+// seededConstructors are the math/rand (and v2) package-level functions
+// that merely build generators from caller-supplied state; everything else
+// at package level draws from the shared global stream.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, // math/rand
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// clockFuncs are the time package functions that read the wall clock or the
+// scheduler; formatting and duration arithmetic remain allowed.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runDetrand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods (e.g. (*rand.Rand).Intn) are seeded state
+				}
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					if !seededConstructors[fn.Name()] {
+						if _, exempt := pass.directiveAt(n.Pos(), "nondet"); !exempt {
+							pass.Reportf(n.Pos(), "call to global %s.%s: protocol randomness must come from the seeded *rand.Rand (Env.Rand or Config.Seed)", fn.Pkg().Path(), fn.Name())
+						}
+					}
+				case "time":
+					if clockFuncs[fn.Name()] {
+						if _, exempt := pass.directiveAt(n.Pos(), "nondet"); !exempt {
+							pass.Reportf(n.Pos(), "call to time.%s: wall-clock input breaks seeded reproducibility", fn.Name())
+						}
+					}
+				}
+			case *ast.SelectStmt:
+				if n.Body != nil && len(n.Body.List) >= 2 {
+					if _, exempt := pass.directiveAt(n.Pos(), "nondet"); !exempt {
+						pass.Reportf(n.Pos(), "select with %d cases chooses among ready channels nondeterministically; protocol code must use deterministic control flow", len(n.Body.List))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

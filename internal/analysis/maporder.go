@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maporder flags `range` over a map whose body lets the (randomized)
+// iteration order escape into protocol state: appending to a slice,
+// writing through a slice index, sending on a channel, or staging an
+// engine message with Env.Send/Broadcast. Per-key map writes and
+// order-insensitive reductions are allowed. When the loop is genuinely
+// order-independent (idempotent per-key writes) or a sort immediately
+// follows, annotate the `for` with //flvet:ordered and say why.
+var Maporder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iterations that leak randomized iteration order into protocol state",
+	Packages: protocolPackages,
+	Run:      runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := typeUnder(pass, rng.X).(*types.Map); !isMap {
+				return true
+			}
+			if _, exempt := pass.directiveAt(rng.Pos(), "ordered"); exempt {
+				return true
+			}
+			if leak, what := orderLeak(pass, rng.Body); leak != nil {
+				pass.Reportf(rng.Pos(), "range over map %s: body %s, leaking randomized iteration order; iterate a sorted key slice (or annotate //flvet:ordered with the order-independence argument)", exprString(rng.X), what)
+			}
+			return true
+		})
+	}
+}
+
+// orderLeak scans a map-range body for the first construct whose effect
+// depends on visit order, returning the offending node and a description.
+func orderLeak(pass *Pass, body *ast.BlockStmt) (node ast.Node, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+					node, what = n, "appends to a slice"
+					return false
+				}
+			}
+			if method, ok := envMethodCall(pass.Info, n); ok {
+				node, what = n, "stages a message via Env."+method
+				return false
+			}
+		case *ast.SendStmt:
+			node, what = n, "sends on a channel"
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isSliceIndexWrite(pass, lhs) {
+					node, what = n, "writes through a slice index"
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if isSliceIndexWrite(pass, n.X) {
+				node, what = n, "writes through a slice index"
+				return false
+			}
+		}
+		return true
+	})
+	return node, what
+}
+
+// isSliceIndexWrite reports whether an lvalue expression is an index into a
+// slice or array (map index writes are per-key and stay allowed).
+func isSliceIndexWrite(pass *Pass, e ast.Expr) bool {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	switch t := typeUnder(pass, idx.X).(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArray := t.Elem().Underlying().(*types.Array)
+		return isArray
+	}
+	return false
+}
+
+// typeUnder returns the underlying type of an expression, or nil.
+func typeUnder(pass *Pass, e ast.Expr) types.Type {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// Poolonly protects the persistent worker-pool architecture: inside
+// internal/congest, goroutines may only be started by pool.go. A bare `go`
+// statement anywhere else reintroduces exactly the per-round spawning (and
+// the attendant scheduling nondeterminism hazards) the pool was built to
+// eliminate; new concurrency must be routed through workerPool so the
+// round barrier and the deterministic merge stay the only
+// synchronization points. There is deliberately no exemption directive.
+var Poolonly = &Analyzer{
+	Name:     "poolonly",
+	Doc:      "forbid bare go statements in internal/congest outside pool.go",
+	Packages: []string{"dfl/internal/congest"},
+	Run:      runPoolonly,
+}
+
+func runPoolonly(pass *Pass) {
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if name == "pool.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare go statement outside pool.go: route concurrency through the persistent workerPool so the round barrier stays the only synchronization point")
+			}
+			return true
+		})
+	}
+}

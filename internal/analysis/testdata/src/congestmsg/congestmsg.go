@@ -1,0 +1,69 @@
+// Package congestmsg seeds violations (and legitimate patterns) for the
+// congestmsg analyzer's golden test.
+package congestmsg
+
+import (
+	"encoding/binary"
+
+	"dfl/internal/congest"
+)
+
+const kindPing = 'P'
+
+var payloadAck = []byte{'A'}        // fixed-size literal: a registered payload var
+var payloadBad = make([]byte, 0, 8) // runtime-sized: not bounded
+
+// encodePing renders one ping value: kind byte plus a varint.
+//
+//flvet:encoder maxbits=88
+func encodePing(buf []byte, v int64) []byte {
+	buf = append(buf[:0], kindPing)
+	return binary.AppendVarint(buf, v)
+}
+
+// badEncoder claims to be an encoder but declares no size bound.
+//
+//flvet:encoder
+func badEncoder(buf []byte) []byte { return buf } // want `needs a positive maxbits`
+
+// notBytes claims a bound but does not produce wire bytes.
+//
+//flvet:encoder maxbits=16
+func notBytes() int { return 0 } // want `must return \[\]byte`
+
+type scratch struct{ buf []byte }
+
+func sends(env *congest.Env, s *scratch, data []byte, n int) {
+	env.Send(0, encodePing(nil, 42)) // direct encoder call: allowed
+	s.buf = encodePing(s.buf, 7)
+	env.Send(1, s.buf) // field assigned only from an encoder: allowed
+	env.Broadcast(payloadAck)
+	env.Send(2, []byte{kindPing, 0}) // fixed-size literal: allowed
+	p := encodePing(nil, 9)
+	env.Send(3, p[:1])        // slice of a bounded value: allowed
+	env.Send(4, data)         // want `not traceable`
+	env.Broadcast(payloadBad) // want `not traceable`
+	raw := make([]byte, n)
+	env.Send(5, raw)            // want `not traceable`
+	env.Send(6, append(raw, 1)) // want `not traceable`
+	//flvet:bounded callers cap len(data) at 8 before reaching this path
+	env.Send(7, data) // exempted by the directive above
+}
+
+func tainted(env *congest.Env, n int) {
+	q := encodePing(nil, 1)
+	q = make([]byte, n) // reassignment from an unbounded source taints q
+	env.Send(0, q)      // want `not traceable`
+}
+
+// wire is a registered payload record; unbounded fields need size notes.
+//
+//flvet:payload
+type wire struct {
+	Kind byte
+	Val  int64
+	Tag  [4]byte
+	Name string //flvet:size=256 interned protocol atom, at most 32 bytes
+	Blob []byte // want `unbounded type \[\]byte`
+	Refs []int  // want `unbounded type \[\]int`
+}

@@ -1,0 +1,41 @@
+// Package detrand seeds violations (and legitimate patterns) for the
+// detrand analyzer's golden test.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals(seeded *rand.Rand) {
+	_ = rand.Intn(10)                            // want `global math/rand\.Intn`
+	rand.Shuffle(3, func(i, j int) {})           // want `global math/rand\.Shuffle`
+	_ = rand.Float64()                           // want `global math/rand\.Float64`
+	rand.Seed(42)                                // want `global math/rand\.Seed`
+	_ = rand.New(rand.NewSource(1))              // constructors build seeded state: allowed
+	_ = seeded.Intn(10)                          // methods on seeded state: allowed
+	_ = rand.NewZipf(seeded, 1.1, 1.0, 100)      // constructor taking the seeded stream: allowed
+}
+
+func clocks() {
+	_ = time.Now()                     // want `time\.Now: wall-clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep: wall-clock`
+	_ = time.Since(time.Time{})        // want `time\.Since: wall-clock`
+	_ = 3 * time.Second                // duration arithmetic: allowed
+	//flvet:nondet timestamp feeds a log line only, never protocol state
+	_ = time.Now() // exempted by the directive above
+}
+
+func selects(ch1, ch2 chan int) {
+	select { // want `select with 2 cases`
+	case <-ch1:
+	case <-ch2:
+	}
+	select { // want `select with 2 cases`
+	case <-ch1:
+	default:
+	}
+	select { // single-case select is a plain blocking receive: allowed
+	case <-ch1:
+	}
+}

@@ -1,0 +1,11 @@
+package poolonly
+
+func runRound(work func()) {
+	go work() // want `bare go statement outside pool\.go`
+	done := make(chan struct{})
+	go func() { // want `bare go statement outside pool\.go`
+		work()
+		close(done)
+	}()
+	<-done
+}

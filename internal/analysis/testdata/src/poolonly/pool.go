@@ -1,0 +1,19 @@
+// Package poolonly seeds violations for the poolonly analyzer's golden
+// test. This file plays the role of internal/congest/pool.go: the one
+// sanctioned goroutine spawn site.
+package poolonly
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker() // allowed: pool.go owns goroutine creation
+	}
+}
+
+func (p *pool) worker() { p.wg.Done() }

@@ -1,7 +1,6 @@
 package congest
 
 import (
-	"encoding/binary"
 	"fmt"
 )
 
@@ -35,10 +34,13 @@ func (f *floodNode) Init(env *Env) {
 	f.dirty = true
 }
 
+// floodValue is the flood protocol's wire kind (registered in wire.go).
+const floodValue = 'v'
+
 func (f *floodNode) Round(r int, inbox []Message) bool {
 	for _, msg := range inbox {
-		v, ok := decodeValue(msg.Payload)
-		if ok && v < f.value {
+		kind, v, ok := DecodeKindVarint(msg.Payload)
+		if ok && kind == floodValue && v < f.value {
 			f.value = v
 			f.dirty = true
 		}
@@ -47,28 +49,11 @@ func (f *floodNode) Round(r int, inbox []Message) bool {
 		return true
 	}
 	if f.dirty {
-		f.buf = encodeValue(f.buf, f.value)
+		f.buf = EncodeKindVarint(f.buf, floodValue, f.value)
 		f.env.Broadcast(f.buf)
 		f.dirty = false
 	}
 	return false
-}
-
-func encodeValue(buf []byte, v int64) []byte {
-	buf = buf[:0]
-	buf = append(buf, 'v')
-	return binary.AppendVarint(buf, v)
-}
-
-func decodeValue(p []byte) (int64, bool) {
-	if len(p) < 2 || p[0] != 'v' {
-		return 0, false
-	}
-	v, n := binary.Varint(p[1:])
-	if n <= 0 {
-		return 0, false
-	}
-	return v, true
 }
 
 // AggregateMin floods the component-wise minimum of values over g and

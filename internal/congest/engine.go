@@ -109,6 +109,9 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			stats.Rounds = round
 			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
 		}
+		// Order-independent map walk: each entry touches only its own
+		// halted[id] slot (idempotent) and Crashed is a commutative count.
+		//flvet:ordered per-key idempotent writes; no order reaches protocol state
 		for id, at := range cfg.Faults.CrashAtRound {
 			if at == round && id >= 0 && id < len(nodes) && !halted[id] {
 				halted[id] = true

@@ -1,0 +1,150 @@
+package congest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFaultsActive(t *testing.T) {
+	if (Faults{}).active() {
+		t.Error("zero Faults reports active")
+	}
+	if !(Faults{DropProb: 0.1}).active() {
+		t.Error("DropProb alone should activate fault injection")
+	}
+	if !(Faults{CrashAtRound: map[int]int{0: 1}}).active() {
+		t.Error("CrashAtRound alone should activate fault injection")
+	}
+}
+
+// TestShouldDropUntilRound pins the boundary semantics: rounds strictly
+// before DropUntilRound are lossy, everything from that round on is
+// reliable, and 0 means lossy forever.
+func TestShouldDropUntilRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Faults{DropProb: 1, DropUntilRound: 5}
+	for round := 0; round < 5; round++ {
+		if !f.shouldDrop(rng, round) {
+			t.Errorf("round %d: DropProb=1 before DropUntilRound must drop", round)
+		}
+	}
+	for round := 5; round < 8; round++ {
+		if f.shouldDrop(rng, round) {
+			t.Errorf("round %d: at or past DropUntilRound must deliver", round)
+		}
+	}
+	forever := Faults{DropProb: 1}
+	if !forever.shouldDrop(rng, 1000) {
+		t.Error("DropUntilRound=0 must mean drops never stop")
+	}
+	if (Faults{DropProb: 0, DropUntilRound: 5}).shouldDrop(rng, 0) {
+		t.Error("DropProb=0 must never drop")
+	}
+}
+
+// faultRun executes the stress graph under a heavy fault schedule and
+// returns the stats plus a flat transcript of every node's receive log —
+// one string that must be byte-identical across runner configurations.
+func faultRun(t *testing.T, seed int64, parallel bool, workers int) (Stats, string) {
+	t.Helper()
+	g := stressGraph(t)
+	n := g.N()
+	nodes := make([]Node, n)
+	recs := make([]*recNode, n)
+	for i := range nodes {
+		recs[i] = &recNode{stopAt: 4 + i/3}
+		nodes[i] = recs[i]
+	}
+	stats, err := Run(g, nodes, Config{
+		Seed:     seed,
+		Parallel: parallel,
+		Workers:  workers,
+		Faults: Faults{
+			DropProb:       0.4,
+			DropUntilRound: 6,
+			CrashAtRound:   map[int]int{1: 2, 9: 3, 16: 1, 23: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i, r := range recs {
+		b.WriteByte(byte('a' + i%26))
+		b.WriteString(strings.Join(r.log, ","))
+		b.WriteByte(';')
+	}
+	return stats, b.String()
+}
+
+// TestFaultScheduleDeterministicAcrossWorkers is the fault half of the I5
+// invariant: the injected drop stream and crash schedule are part of the
+// seeded run, so sequential and parallel runs at any worker count must
+// produce identical stats and identical per-node transcripts — and a
+// different seed must produce a different drop pattern.
+func TestFaultScheduleDeterministicAcrossWorkers(t *testing.T) {
+	refStats, refLog := faultRun(t, 424242, false, 0)
+	if refStats.Dropped == 0 {
+		t.Fatalf("schedule too tame, nothing dropped: %+v", refStats)
+	}
+	if refStats.Crashed != 4 {
+		t.Fatalf("Crashed = %d, want all 4 scheduled crashes", refStats.Crashed)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stats, log := faultRun(t, 424242, true, workers)
+		if stats != refStats {
+			t.Errorf("workers=%d: stats %+v differ from sequential %+v", workers, stats, refStats)
+		}
+		if log != refLog {
+			t.Errorf("workers=%d: transcript diverged from sequential run", workers)
+		}
+	}
+	// Same seed, same runner: the schedule is a pure function of the config.
+	againStats, againLog := faultRun(t, 424242, false, 0)
+	if againStats != refStats || againLog != refLog {
+		t.Error("re-running the identical sequential config changed the outcome")
+	}
+	// A different seed must actually reshuffle the drop stream.
+	_, otherLog := faultRun(t, 424243, false, 0)
+	if otherLog == refLog {
+		t.Error("different seed produced an identical transcript; fault stream is not seed-derived")
+	}
+}
+
+// TestCrashScheduleEdgeCases: out-of-range ids are ignored rather than
+// crashing the engine, and Crashed counts only nodes the schedule actually
+// halted (a node that halts on its own first is not double-counted).
+func TestCrashScheduleEdgeCases(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int{{0, 1}, {1, 2}})
+	nodes := []Node{&recNode{stopAt: 2}, &recNode{stopAt: 2}, &recNode{stopAt: 2}}
+	stats, err := Run(g, nodes, Config{
+		Seed: 7,
+		Faults: Faults{CrashAtRound: map[int]int{
+			-1: 1,  // ignored: negative id
+			99: 1,  // ignored: beyond the graph
+			2:  50, // never reached: run halts long before round 50
+			0:  1,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crashed != 1 {
+		t.Fatalf("Crashed = %d, want 1 (only node 0's crash is in range and in time)", stats.Crashed)
+	}
+
+	// A crash scheduled for a node that already halted must not inflate the
+	// count: node 1 halts voluntarily after round 0, crash fires at round 3.
+	nodes = []Node{&recNode{stopAt: 5}, &recNode{stopAt: 0}, &recNode{stopAt: 5}}
+	stats, err = Run(g, nodes, Config{
+		Seed:   7,
+		Faults: Faults{CrashAtRound: map[int]int{1: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crashed != 0 {
+		t.Fatalf("Crashed = %d, want 0 (node 1 halted on its own before its crash round)", stats.Crashed)
+	}
+}

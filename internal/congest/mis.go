@@ -1,7 +1,6 @@
 package congest
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -53,11 +52,16 @@ func MaximalIndependentSet(g *Graph, cfg Config, maxRounds int) ([]bool, Stats, 
 	return out, stats, nil
 }
 
-// Luby wire kinds.
+// Luby wire kinds (size bounds registered in wire.go).
 const (
 	lubyDraw   = 'p' // my priority this round
 	lubyWinner = 'w' // I joined the MIS; retire
 	lubyRetire = 'r' // I retired (a neighbour won); forget me
+)
+
+var (
+	payloadLubyWinner = []byte{lubyWinner}
+	payloadLubyRetire = []byte{lubyRetire}
 )
 
 // lubyNode runs one vertex. Each iteration is three engine rounds:
@@ -91,7 +95,7 @@ func (l *lubyNode) Round(r int, inbox []Message) bool {
 		}
 		switch msg.Payload[0] {
 		case lubyDraw:
-			if v, n := binary.Uvarint(msg.Payload[1:]); n > 0 {
+			if _, v, ok := DecodeKindUvarint(msg.Payload); ok {
 				l.draws[msg.From] = v
 			}
 		case lubyWinner:
@@ -114,12 +118,8 @@ func (l *lubyNode) Round(r int, inbox []Message) bool {
 		// 32-bit draws keep the payload within the O(log n) CONGEST
 		// budget; ties are broken by vertex id.
 		l.myDraw = uint64(l.env.Rand().Uint32())
-		l.buf = l.buf[:0]
-		l.buf = append(l.buf, lubyDraw)
-		l.buf = binary.AppendUvarint(l.buf, l.myDraw)
-		for v := range l.live {
-			l.env.Send(v, l.buf)
-		}
+		l.buf = EncodeKindUvarint(l.buf, lubyDraw, l.myDraw)
+		l.sendLive(l.buf)
 		if len(l.live) == 0 {
 			// Isolated (or fully retired neighbourhood): join immediately.
 			l.decided = true
@@ -145,24 +145,30 @@ func (l *lubyNode) Round(r int, inbox []Message) bool {
 		if win {
 			l.decided = true
 			l.inMIS = true
-			l.buf = l.buf[:0]
-			l.buf = append(l.buf, lubyWinner)
-			for v := range l.live {
-				l.env.Send(v, l.buf)
-			}
+			l.sendLive(payloadLubyWinner)
 		}
 		l.draws = map[int]uint64{}
 	case 2: // retired non-members tell remaining neighbours to forget them
 		if l.decided && !l.inMIS && !l.retireSent() {
-			l.buf = l.buf[:0]
-			l.buf = append(l.buf, lubyRetire)
-			for v := range l.live {
-				l.env.Send(v, l.buf)
-			}
+			l.sendLive(payloadLubyRetire)
 			l.markRetireSent()
 		}
 	}
 	return false
+}
+
+// sendLive sends payload to every still-live neighbour, walking the
+// engine's neighbour slice rather than the live map: map iteration order
+// would leak into the message staging order and make observer traces (and
+// per-sender arena layouts) differ between identically seeded runs — the
+// exact failure mode the maporder analyzer exists to catch.
+func (l *lubyNode) sendLive(payload []byte) {
+	for _, v := range l.env.Neighbors() {
+		if l.live[v] {
+			//flvet:bounded forwarding helper: every caller passes EncodeKindUvarint output or a 1-byte registered payload var
+			l.env.Send(v, payload)
+		}
+	}
 }
 
 // quiesce lets a decided vertex stay alive just long enough to deliver its

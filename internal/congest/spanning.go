@@ -1,7 +1,6 @@
 package congest
 
 import (
-	"encoding/binary"
 	"fmt"
 )
 
@@ -90,28 +89,11 @@ func (s *sumNode) Init(env *Env) {
 	s.subtreeTotal = s.value
 }
 
-func encodeKindValue(buf []byte, kind byte, v int64) []byte {
-	buf = buf[:0]
-	buf = append(buf, kind)
-	return binary.AppendVarint(buf, v)
-}
-
-func decodeKindValue(p []byte) (byte, int64, bool) {
-	if len(p) < 2 {
-		return 0, 0, false
-	}
-	v, n := binary.Varint(p[1:])
-	if n <= 0 {
-		return p[0], 0, false
-	}
-	return p[0], v, true
-}
-
 func (s *sumNode) Round(r int, inbox []Message) bool {
 	// Ingest everything first; kinds are self-describing so phases can
 	// overlap at their boundaries without confusion.
 	for _, msg := range inbox {
-		kind, v, ok := decodeKindValue(msg.Payload)
+		kind, v, ok := DecodeKindVarint(msg.Payload)
 		if !ok && kind != stLevel && kind != stAdopt {
 			continue
 		}
@@ -143,7 +125,7 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 	case r < s.floodRounds:
 		// Phase 1: leader election by min-id flooding.
 		if s.leaderDirty {
-			s.buf = encodeKindValue(s.buf, stLeader, int64(s.leader))
+			s.buf = EncodeKindVarint(s.buf, stLeader, int64(s.leader))
 			s.env.Broadcast(s.buf)
 			s.leaderDirty = false
 		}
@@ -153,16 +135,16 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 		s.adoptedAt = r
 		s.parent = -1
 		s.announced = true
-		s.buf = encodeKindValue(s.buf, stLevel, 0)
+		s.buf = EncodeKindVarint(s.buf, stLevel, 0)
 		s.env.Broadcast(s.buf)
 	}
 
 	if s.adopted && !s.announced {
 		// Newly adopted: claim the parent, extend the tree elsewhere.
 		s.announced = true
-		s.buf = encodeKindValue(s.buf, stAdopt, 0)
+		s.buf = EncodeKindVarint(s.buf, stAdopt, 0)
 		s.env.Send(s.parent, s.buf)
-		lvl := encodeKindValue(nil, stLevel, 0)
+		lvl := EncodeKindVarint(nil, stLevel, 0)
 		for _, v := range s.env.Neighbors() {
 			if v != s.parent {
 				s.env.Send(v, lvl)
@@ -181,7 +163,7 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 		s.subtreeTotal = total
 		s.sentSum = true
 		if s.parent >= 0 {
-			s.buf = encodeKindValue(s.buf, stSum, total)
+			s.buf = EncodeKindVarint(s.buf, stSum, total)
 			s.env.Send(s.parent, s.buf)
 		} else {
 			// The leader has the component total; start phase 4.
@@ -193,7 +175,7 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 	// Phase 4: flood the total down the tree.
 	if s.haveTotal && !s.sentTotal {
 		s.sentTotal = true
-		s.buf = encodeKindValue(s.buf, stTotal, s.total)
+		s.buf = EncodeKindVarint(s.buf, stTotal, s.total)
 		for _, c := range s.children {
 			s.env.Send(c, s.buf)
 		}

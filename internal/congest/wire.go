@@ -1,0 +1,117 @@
+package congest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file is the runtime half of the congestmsg contract (see
+// internal/analysis): every wire-message kind that crosses the engine is
+// registered here with a hard bound on its encoded size, mechanically
+// backing the O(log n)-bit message claim the paper's trade-off analysis
+// rests on. The static analyzer guarantees payloads come only from
+// annotated encoders; the registry (exercised by the wire fuzz targets in
+// internal/fl and internal/core) holds those encoders to their declared
+// bounds on real data.
+
+// PayloadSpec declares one wire-message kind and its maximum encoded size.
+// Kinds share a single namespace across every protocol run on the engine
+// so traces and debuggers can identify any payload by its first byte.
+type PayloadSpec struct {
+	Kind    byte
+	Name    string
+	MaxBits int
+}
+
+var payloadRegistry = map[byte]PayloadSpec{}
+
+// RegisterPayload records a wire kind with its size bound. Registration
+// happens in package init blocks; colliding kinds or non-positive bounds
+// are programming errors and panic immediately.
+func RegisterPayload(kind byte, name string, maxBits int) {
+	if name == "" || maxBits <= 0 {
+		panic(fmt.Sprintf("congest: invalid payload registration kind=%#x name=%q maxBits=%d", kind, name, maxBits))
+	}
+	if prev, ok := payloadRegistry[kind]; ok {
+		panic(fmt.Sprintf("congest: payload kind %#x registered twice (%s and %s)", kind, prev.Name, name))
+	}
+	payloadRegistry[kind] = PayloadSpec{Kind: kind, Name: name, MaxBits: maxBits}
+}
+
+// PayloadSpecs returns every registered payload kind, sorted by kind byte.
+func PayloadSpecs() []PayloadSpec {
+	specs := make([]PayloadSpec, 0, len(payloadRegistry))
+	for _, s := range payloadRegistry { //flvet:ordered sorted immediately below
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Kind < specs[j].Kind })
+	return specs
+}
+
+// PayloadMaxBits returns the registered size bound for a wire kind.
+func PayloadMaxBits(kind byte) (int, bool) {
+	s, ok := payloadRegistry[kind]
+	return s.MaxBits, ok
+}
+
+// MaxKindVarintBits bounds the generic kind+varint encoders below: one
+// kind byte plus one 64-bit (u)varint of at most 10 bytes.
+const MaxKindVarintBits = 88
+
+// EncodeKindVarint renders the engine's standard small payload — a kind
+// byte followed by one signed varint — into buf's storage.
+//
+//flvet:encoder maxbits=88
+func EncodeKindVarint(buf []byte, kind byte, v int64) []byte {
+	buf = append(buf[:0], kind)
+	return binary.AppendVarint(buf, v)
+}
+
+// DecodeKindVarint parses an EncodeKindVarint payload. On short or
+// malformed input it still returns the kind byte (if present) so callers
+// can dispatch value-free kinds.
+func DecodeKindVarint(p []byte) (kind byte, v int64, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, false
+	}
+	v, n := binary.Varint(p[1:])
+	if n <= 0 {
+		return p[0], 0, false
+	}
+	return p[0], v, true
+}
+
+// EncodeKindUvarint is EncodeKindVarint for unsigned values.
+//
+//flvet:encoder maxbits=88
+func EncodeKindUvarint(buf []byte, kind byte, v uint64) []byte {
+	buf = append(buf[:0], kind)
+	return binary.AppendUvarint(buf, v)
+}
+
+// DecodeKindUvarint parses an EncodeKindUvarint payload.
+func DecodeKindUvarint(p []byte) (kind byte, v uint64, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, false
+	}
+	v, n := binary.Uvarint(p[1:])
+	if n <= 0 {
+		return p[0], 0, false
+	}
+	return p[0], v, true
+}
+
+func init() {
+	// The engine's own protocol kinds. Value payloads are one kind byte
+	// plus one varint; a 32-bit Luby draw needs at most 5 varint bytes.
+	RegisterPayload(floodValue, "FLOOD-MIN", MaxKindVarintBits)
+	RegisterPayload(stLeader, "ST-LEADER", MaxKindVarintBits)
+	RegisterPayload(stLevel, "ST-LEVEL", MaxKindVarintBits)
+	RegisterPayload(stAdopt, "ST-ADOPT", MaxKindVarintBits)
+	RegisterPayload(stSum, "ST-SUM", MaxKindVarintBits)
+	RegisterPayload(stTotal, "ST-TOTAL", MaxKindVarintBits)
+	RegisterPayload(lubyDraw, "LUBY-DRAW", 48)
+	RegisterPayload(lubyWinner, "LUBY-WINNER", 8)
+	RegisterPayload(lubyRetire, "LUBY-RETIRE", 8)
+}

@@ -22,6 +22,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+
+	"dfl/internal/congest"
 )
 
 // Wire message kinds. One byte on the wire, followed by kind-specific
@@ -34,12 +36,30 @@ const (
 	kindForce                   // client -> facility: cleanup, open for me
 )
 
+// maxOfferBits bounds the encoded OFFER: one kind byte plus three uvarints
+// — class < 2^20 (3 bytes), fine <= 64 (1 byte), prio < 2^32 (5 bytes).
+// The wire fuzz target (FuzzOfferWire) holds the encoder to this bound on
+// arbitrary in-range inputs.
+const maxOfferBits = (1 + 3 + 1 + 5) * 8
+
+// Size bounds for every wire kind, registered with the engine so traces
+// and the congestmsg contract's fuzz evidence can see them.
+func init() {
+	congest.RegisterPayload(kindDone, "FL-DONE", 8)
+	congest.RegisterPayload(kindOffer, "FL-OFFER", maxOfferBits)
+	congest.RegisterPayload(kindGrant, "FL-GRANT", 8)
+	congest.RegisterPayload(kindConnect, "FL-CONNECT", 8)
+	congest.RegisterPayload(kindForce, "FL-FORCE", 8)
+}
+
 // encodeOffer renders an OFFER carrying the star's effectiveness class, a
 // log2-quantized effectiveness (used only by the FineGrainedTieBreak
 // extension), and the facility's per-iteration random priority into buf,
 // returning the encoded slice. Class values are O(sqrt(K)), the fine class
 // is at most 64, and priorities are 32 bits, so the payload stays within
 // the CONGEST budget.
+//
+//flvet:encoder maxbits=80
 func encodeOffer(buf []byte, class, fine int, prio uint32) []byte {
 	buf = buf[:0]
 	buf = append(buf, kindOffer)
