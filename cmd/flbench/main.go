@@ -8,8 +8,13 @@
 //
 // Usage:
 //
-//	flbench [-exp all|E1..E13] [-quick] [-seed N] [-runs N] [-out DIR]
-//	        [-json FILE] [-note STR] [-cpuprofile FILE] [-memprofile FILE]
+//	flbench [-exp all|E1..E14] [-quick] [-seed N] [-runs N] [-out DIR]
+//	        [-faults SPEC] [-json FILE] [-note STR]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -faults injects an adversarial fault schedule into the chaos experiment
+// (E14), e.g. -faults drop=0.2,crash=3@5 — see bench.ParseFaultSpec for
+// the full syntax.
 package main
 
 import (
@@ -38,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E13) or 'all'")
+		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E14) or 'all'")
 		quick      = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
 		seed       = fs.Int64("seed", 1, "master seed for instances and protocols")
 		runs       = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")
@@ -46,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		listOnly   = fs.Bool("list", false, "list experiments and exit")
 		jsonPath   = fs.String("json", "", "write all produced tables as one machine-readable JSON report")
 		note       = fs.String("note", "", "free-form annotation recorded in the -json report")
+		faultSpec  = fs.String("faults", "", "fault schedule for the chaos experiment, e.g. drop=0.2,crash=3@5")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -107,7 +113,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	params := bench.Params{Quick: *quick, Seed: *seed, Runs: *runs}
+	if *faultSpec != "" {
+		// Fail on a malformed spec before any experiment burns time.
+		if _, err := bench.ParseFaultSpec(*faultSpec); err != nil {
+			return err
+		}
+	}
+	params := bench.Params{Quick: *quick, Seed: *seed, Runs: *runs, FaultSpec: *faultSpec}
 	report := jsonReport{
 		Schema:     "dfl-bench/1",
 		GoVersion:  runtime.Version(),
@@ -115,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Quick:      *quick,
 		Seed:       *seed,
 		Note:       *note,
+		FaultSpec:  *faultSpec,
 	}
 	for _, e := range exps {
 		start := time.Now()
@@ -164,6 +177,7 @@ type jsonReport struct {
 	Quick      bool        `json:"quick"`
 	Seed       int64       `json:"seed"`
 	Note       string      `json:"note,omitempty"`
+	FaultSpec  string      `json:"faults,omitempty"`
 	Tables     []jsonTable `json:"tables"`
 }
 

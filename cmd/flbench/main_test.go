@@ -117,3 +117,16 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad flag should fail")
 	}
 }
+
+func TestRunFaultSpec(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "E14", "-quick", "-faults", "drop=0.25,crash=2@7"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "drop=0.25,crash=2@7") {
+		t.Fatalf("chaos table does not show the schedule:\n%s", out.String())
+	}
+	if err := run([]string{"-exp", "E14", "-quick", "-faults", "warp=1"}, &out, &errBuf); err == nil {
+		t.Fatal("malformed -faults should fail before running experiments")
+	}
+}

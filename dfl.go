@@ -18,6 +18,7 @@ package dfl
 import (
 	"io"
 
+	"dfl/internal/congest"
 	"dfl/internal/core"
 	"dfl/internal/fl"
 	"dfl/internal/gen"
@@ -62,6 +63,11 @@ func ReadSolution(r io.Reader) (*Solution, error) { return fl.ReadSolution(r) }
 
 // WriteSolution serializes a solution in the text solution format.
 func WriteSolution(w io.Writer, sol *Solution) error { return fl.WriteSolution(w, sol) }
+
+// Unassigned marks a client that has no facility in Solution.Assign; the
+// certifier only tolerates it for clients a report exempts as dead or
+// unservable.
+const Unassigned = fl.Unassigned
 
 // Validate checks that sol is feasible for inst.
 func Validate(inst *Instance, sol *Solution) error { return fl.Validate(inst, sol) }
@@ -108,7 +114,33 @@ var (
 	// during the phase sweep; feasibility is preserved by the reliable
 	// cleanup barrier.
 	WithLossyNetwork = core.WithLossyNetwork
+	// WithFaults injects a full adversarial fault schedule (drops,
+	// duplication, bounded reordering, bursts, link downs, partitions,
+	// crash-with-recovery); the repair pass re-serves stranded clients and
+	// Certify vouches for the result.
+	WithFaults = core.WithFaults
+	// WithReliableDelivery layers a per-link ack/retransmit shim under
+	// every protocol message with the given retry budget.
+	WithReliableDelivery = core.WithReliableDelivery
 )
+
+// FaultSchedule configures injected failures for WithFaults; the zero
+// value injects nothing. See the congest package for field semantics.
+type FaultSchedule = congest.Faults
+
+// Certify independently validates a distributed run's solution against
+// its report: feasibility modulo the report's dead/unservable exemptions,
+// plus recomputed cost and open-facility accounting. SolveDistributed
+// already certifies internally; call this to re-check a solution you
+// stored, transformed, or received from elsewhere.
+func Certify(inst *Instance, sol *Solution, rep *DistReport) error {
+	return core.Certify(inst, sol, rep)
+}
+
+// CertifyCap is Certify for soft-capacitated solutions.
+func CertifyCap(inst *Instance, capacity int, sol *CapSolution, rep *DistReport) error {
+	return core.CertifyCap(inst, capacity, sol, rep)
+}
 
 // SolveDistributedBest runs the protocol `runs` times with consecutive
 // seeds and returns the cheapest solution — the cheap way to shave the

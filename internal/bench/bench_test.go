@@ -193,3 +193,64 @@ func TestTradeoffDirection(t *testing.T) {
 		t.Fatalf("ratio degraded with K: %.3f (K=1) -> %.3f (K max)", firstRatio, lastRatio)
 	}
 }
+
+// TestParseFaultSpec pins the -faults mini-syntax: every token kind round
+// trips into the right congest.Faults field, and malformed tokens are
+// rejected with an error naming the offending piece.
+func TestParseFaultSpec(t *testing.T) {
+	f, err := ParseFaultSpec("drop=0.2@30, dup=0.1, delay=0.05@3, crash=3@5, crash=7@9, recover=3@20, burst=10-12, burst=40-41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DropProb != 0.2 || f.DropUntilRound != 30 {
+		t.Fatalf("drop parsed as %v@%d", f.DropProb, f.DropUntilRound)
+	}
+	if f.DupProb != 0.1 {
+		t.Fatalf("dup parsed as %v", f.DupProb)
+	}
+	if f.DelayProb != 0.05 || f.MaxDelay != 3 {
+		t.Fatalf("delay parsed as %v@%d", f.DelayProb, f.MaxDelay)
+	}
+	if f.CrashAtRound[3] != 5 || f.CrashAtRound[7] != 9 || f.RecoverAtRound[3] != 20 {
+		t.Fatalf("crash/recover parsed as %v / %v", f.CrashAtRound, f.RecoverAtRound)
+	}
+	if len(f.Bursts) != 2 || f.Bursts[0].FromRound != 10 || f.Bursts[0].ToRound != 12 {
+		t.Fatalf("bursts parsed as %v", f.Bursts)
+	}
+	if empty, err := ParseFaultSpec("  "); err != nil || empty.DropProb != 0 {
+		t.Fatalf("blank spec: %v %v", empty, err)
+	}
+	for _, bad := range []string{
+		"drop", "drop=", "drop=x", "drop=0.2@x", "delay=0.1", "delay=p@2",
+		"crash=3", "crash=a@5", "recover=3@b", "burst=5", "burst=a-b", "warp=0.5",
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestChaosOverheadHonorsFaultSpec: a caller-supplied schedule replaces the
+// default matrix (baseline row plus the spec, each with and without the
+// reliable shim).
+func TestChaosOverheadHonorsFaultSpec(t *testing.T) {
+	tables, err := ChaosOverhead(Params{Quick: true, Seed: 7, FaultSpec: "drop=0.3,crash=2@9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want baseline + spec x {off,on}", len(rows))
+	}
+	if rows[1][0] != "drop=0.3,crash=2@9" || rows[2][1] != "budget=2" {
+		t.Fatalf("unexpected schedule rows: %v", rows)
+	}
+	for _, r := range rows {
+		if r[len(r)-1] != "ok" {
+			t.Fatalf("uncertified row: %v", r)
+		}
+	}
+	if _, err := ChaosOverhead(Params{Quick: true, Seed: 7, FaultSpec: "warp=1"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -20,6 +20,10 @@ type Params struct {
 	// Runs is the number of protocol seeds averaged per measurement;
 	// 0 means 5 (2 in quick mode).
 	Runs int
+	// FaultSpec, when non-empty, replaces the chaos experiment's default
+	// schedule matrix with one parsed from this compact syntax (see
+	// ParseFaultSpec); set by the flbench -faults flag.
+	FaultSpec string
 }
 
 func (p Params) runs() int {
@@ -70,6 +74,8 @@ func Experiments() []Experiment {
 			Claim: "the cheap dual bound is within a small factor of the exact LP", Run: LPGapAudit},
 		{ID: "E13", Kind: "table", Name: "Engine throughput vs size and worker count",
 			Claim: "the simulator itself scales: rounds/sec tracks hardware, allocs/round stay flat", Run: EngineThroughput},
+		{ID: "E14", Kind: "table", Name: "Self-healing under adversarial fault schedules",
+			Claim: "crashes, duplication and heavy loss cost quality, never certified feasibility", Run: ChaosOverhead},
 	}
 }
 

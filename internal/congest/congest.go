@@ -119,6 +119,17 @@ type Node interface {
 	Round(round int, inbox []Message) (halt bool)
 }
 
+// Recoverable is a Node that can rejoin after an injected crash
+// (Faults.RecoverAtRound). Recover is called by the engine at the start of
+// the recovery round and must reset the node to its post-Init state: all
+// protocol state is lost, while the environment — identity, neighbour
+// list, private random stream — survives the restart. Messages addressed
+// to the node while it was down stay lost.
+type Recoverable interface {
+	Node
+	Recover()
+}
+
 // Env is a node's private handle to the network: its identity, neighbour
 // list, deterministic private randomness, and staged outgoing messages.
 type Env struct {

@@ -29,8 +29,12 @@ type Config struct {
 	// runs.
 	Observer func(round int, delivered []Message)
 	// Faults injects message drops and node crashes; the zero value is a
-	// fault-free run.
+	// fault-free run. Run validates the configuration and rejects
+	// out-of-range probabilities, node ids, and round windows.
 	Faults Faults
+	// Reliable layers the per-link ack/retransmit shim under every
+	// Send/Broadcast; the zero value sends unprotected.
+	Reliable Reliable
 }
 
 // DefaultMaxRounds is the round budget when Config.MaxRounds is zero.
@@ -45,11 +49,20 @@ var ErrRoundLimit = errors.New("congest: round limit exceeded")
 // reflect the rounds actually executed before the abort.
 type Stats struct {
 	Rounds         int   // rounds executed (until global halt or abort)
-	Messages       int64 // total messages sent
-	Bits           int64 // total payload bits sent
+	Messages       int64 // total protocol messages sent
+	Bits           int64 // total protocol payload bits sent
 	MaxMessageBits int   // largest single payload observed
-	Dropped        int64 // messages lost to injected faults
+	Dropped        int64 // wire transmissions lost to injected faults
 	Crashed        int   // nodes halted by injected crashes
+	Recovered      int   // crashed nodes restarted by the recovery schedule
+	Duplicated     int64 // extra copies delivered by duplication faults
+	Delayed        int64 // transmissions deferred by reordering faults
+	// Link-layer traffic of the reliable-delivery shim, accounted apart
+	// from the protocol's own Messages/Bits.
+	Retransmits    int64 // frame retransmission attempts
+	RetransmitBits int64 // payload bits spent on retransmissions
+	Acks           int64 // acknowledgements transmitted
+	AckBits        int64 // bits spent on acknowledgements
 }
 
 // Run executes nodes on g until every node has halted, returning model-level
@@ -58,6 +71,12 @@ type Stats struct {
 func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 	if len(nodes) != g.N() {
 		return Stats{}, fmt.Errorf("congest: %d nodes for graph of %d vertices", len(nodes), g.N())
+	}
+	if err := cfg.Faults.validate(len(nodes), nodes); err != nil {
+		return Stats{}, err
+	}
+	if cfg.Reliable.RetryBudget < 0 {
+		return Stats{}, fmt.Errorf("congest: RetryBudget %d is negative", cfg.Reliable.RetryBudget)
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
@@ -84,10 +103,19 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 	var stats Stats
 
 	// Fault randomness lives on its own stream so that a Faults{} run is
-	// byte-identical to a fault-free run with the same seed.
+	// byte-identical to a fault-free run with the same seed. The stream is
+	// created whenever any fault feature is active — even schedule-only
+	// configurations, which draw nothing from it — so activation never
+	// depends on which fields happen to consume randomness.
 	var faultRng *rand.Rand
-	if cfg.Faults.active() {
-		faultRng = rand.New(rand.NewSource(nodeSeed(cfg.Seed, 1<<30)))
+	var crashed []bool
+	var del *delivery
+	if cfg.Faults.active() || cfg.Reliable.enabled() {
+		if cfg.Faults.active() {
+			faultRng = rand.New(rand.NewSource(nodeSeed(cfg.Seed, 1<<30)))
+		}
+		crashed = make([]bool, len(nodes))
+		del = newDelivery(&cfg.Faults, len(nodes), cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil)
 	}
 
 	workers := cfg.Workers
@@ -104,18 +132,47 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 	// only populated when an observer is installed.
 	var delivered []Message
 
+	// The crash/recovery schedules are maps; materialize their node ids in
+	// ascending order once (ids were range-checked by Faults.validate, so a
+	// 0..n-1 membership scan finds them all) so the per-round walks below
+	// never touch randomized map iteration order.
+	var crashIDs, recoverIDs []int
+	if len(cfg.Faults.CrashAtRound) > 0 {
+		for id := range nodes {
+			if _, ok := cfg.Faults.CrashAtRound[id]; ok {
+				crashIDs = append(crashIDs, id)
+			}
+			if _, ok := cfg.Faults.RecoverAtRound[id]; ok {
+				recoverIDs = append(recoverIDs, id)
+			}
+		}
+	}
+
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			stats.Rounds = round
 			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
 		}
-		// Order-independent map walk: each entry touches only its own
-		// halted[id] slot (idempotent) and Crashed is a commutative count.
-		//flvet:ordered per-key idempotent writes; no order reaches protocol state
-		for id, at := range cfg.Faults.CrashAtRound {
-			if at == round && id >= 0 && id < len(nodes) && !halted[id] {
+		for _, id := range crashIDs {
+			if cfg.Faults.CrashAtRound[id] == round && !halted[id] {
 				halted[id] = true
+				crashed[id] = true
 				stats.Crashed++
+				if del.shim != nil {
+					del.shim.onCrash(id)
+				}
+			}
+		}
+		// Recovery rejoins a crashed node with empty protocol state: the
+		// environment (identity, neighbours, private rng) survives, the
+		// state machine restarts. A node whose crash never fired (it
+		// halted voluntarily first) stays down.
+		for _, id := range recoverIDs {
+			if cfg.Faults.RecoverAtRound[id] == round && crashed[id] {
+				crashed[id] = false
+				halted[id] = false
+				stats.Recovered++
+				nodes[id].(Recoverable).Recover()
 			}
 		}
 		allHalted := true
@@ -125,7 +182,7 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 				break
 			}
 		}
-		if allHalted {
+		if allHalted && !pendingRecovery(recoverIDs, cfg.Faults.RecoverAtRound, crashed, round) {
 			stats.Rounds = round
 			return stats, nil
 		}
@@ -154,6 +211,9 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 		for id := range inboxes {
 			inboxes[id] = inboxes[id][:0]
 		}
+		if del != nil {
+			del.beginRound(round)
+		}
 		for id := range nodes {
 			env := envs[id]
 			if env.sendErr != nil {
@@ -166,8 +226,8 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 				if msg.Bits() > stats.MaxMessageBits {
 					stats.MaxMessageBits = msg.Bits()
 				}
-				if faultRng != nil && cfg.Faults.shouldDrop(faultRng, round) {
-					stats.Dropped++
+				if del != nil {
+					del.transmit(round, msg)
 					continue
 				}
 				if cfg.Observer != nil {
@@ -183,10 +243,26 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			// drain them so they are not re-counted on later rounds.
 			env.out = env.out[:0]
 		}
-		if cfg.Observer != nil {
+		if del != nil {
+			del.finishRound(round)
+			if cfg.Observer != nil {
+				cfg.Observer(round, del.delivered)
+			}
+		} else if cfg.Observer != nil {
 			cfg.Observer(round, delivered)
 		}
 	}
+}
+
+// pendingRecovery keeps the run alive while a currently-crashed node has a
+// recovery still ahead of it, even if every live node has halted.
+func pendingRecovery(recoverIDs []int, recoverAt map[int]int, crashed []bool, round int) bool {
+	for _, id := range recoverIDs {
+		if recoverAt[id] > round && crashed[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // nodeSeed mixes the run seed with the node id (splitmix64 finalizer) so

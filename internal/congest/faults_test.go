@@ -7,14 +7,25 @@ import (
 )
 
 func TestFaultsActive(t *testing.T) {
-	if (Faults{}).active() {
-		t.Error("zero Faults reports active")
+	tests := []struct {
+		name string
+		f    Faults
+		want bool
+	}{
+		{"zero", Faults{}, false},
+		{"drop", Faults{DropProb: 0.1}, true},
+		{"crash", Faults{CrashAtRound: map[int]int{0: 1}}, true},
+		{"recover", Faults{RecoverAtRound: map[int]int{0: 2}}, true},
+		{"dup only", Faults{DupProb: 0.3}, true},
+		{"delay only", Faults{DelayProb: 0.2, MaxDelay: 2}, true},
+		{"link down only", Faults{LinkDowns: []LinkDown{{U: 0, V: 1, RoundRange: RoundRange{0, 3}}}}, true},
+		{"partition only", Faults{Partitions: []Partition{{Side: []int{0}, RoundRange: RoundRange{1, 2}}}}, true},
+		{"burst only", Faults{Bursts: []RoundRange{{0, 1}}}, true},
 	}
-	if !(Faults{DropProb: 0.1}).active() {
-		t.Error("DropProb alone should activate fault injection")
-	}
-	if !(Faults{CrashAtRound: map[int]int{0: 1}}).active() {
-		t.Error("CrashAtRound alone should activate fault injection")
+	for _, tt := range tests {
+		if got := tt.f.active(); got != tt.want {
+			t.Errorf("%s: active() = %v, want %v", tt.name, got, tt.want)
+		}
 	}
 }
 
@@ -38,22 +49,72 @@ func TestShouldDropUntilRound(t *testing.T) {
 	if !forever.shouldDrop(rng, 1000) {
 		t.Error("DropUntilRound=0 must mean drops never stop")
 	}
-	if (Faults{DropProb: 0, DropUntilRound: 5}).shouldDrop(rng, 0) {
+	zero := Faults{DropProb: 0, DropUntilRound: 5}
+	if zero.shouldDrop(rng, 0) {
 		t.Error("DropProb=0 must never drop")
 	}
 }
 
-// faultRun executes the stress graph under a heavy fault schedule and
-// returns the stats plus a flat transcript of every node's receive log —
-// one string that must be byte-identical across runner configurations.
+// TestFaultsValidation covers the Run-time configuration gate: broken
+// probabilities, out-of-range schedule entries, and impossible recovery
+// schedules are rejected up front instead of silently misbehaving.
+func TestFaultsValidation(t *testing.T) {
+	recoverable := func() []Node { return []Node{&chaosNode{}, &chaosNode{}, &chaosNode{}} }
+	plain := func() []Node { return []Node{&recNode{stopAt: 1}, &recNode{stopAt: 1}, &recNode{stopAt: 1}} }
+	tests := []struct {
+		name    string
+		f       Faults
+		nodes   []Node
+		wantErr string
+	}{
+		{"negative drop", Faults{DropProb: -0.1}, plain(), "DropProb"},
+		{"drop above one", Faults{DropProb: 1.5}, plain(), "DropProb"},
+		{"negative dup", Faults{DupProb: -1}, plain(), "DupProb"},
+		{"dup above one", Faults{DupProb: 2}, plain(), "DupProb"},
+		{"delay above one", Faults{DelayProb: 1.01, MaxDelay: 1}, plain(), "DelayProb"},
+		{"delay without max", Faults{DelayProb: 0.5}, plain(), "MaxDelay"},
+		{"negative max delay", Faults{MaxDelay: -1}, plain(), "MaxDelay"},
+		{"negative drop window", Faults{DropProb: 0.1, DropUntilRound: -2}, plain(), "DropUntilRound"},
+		{"negative delay window", Faults{DelayProb: 0.1, MaxDelay: 1, DelayUntilRound: -1}, plain(), "DelayUntilRound"},
+		{"crash id negative", Faults{CrashAtRound: map[int]int{-1: 1}}, plain(), "CrashAtRound"},
+		{"crash id beyond graph", Faults{CrashAtRound: map[int]int{99: 1}}, plain(), "CrashAtRound"},
+		{"crash round negative", Faults{CrashAtRound: map[int]int{1: -3}}, plain(), "negative"},
+		{"recover id out of range", Faults{RecoverAtRound: map[int]int{7: 4}}, recoverable(), "RecoverAtRound"},
+		{"recover without crash", Faults{RecoverAtRound: map[int]int{1: 4}}, recoverable(), "no CrashAtRound"},
+		{"recover before crash", Faults{CrashAtRound: map[int]int{1: 4}, RecoverAtRound: map[int]int{1: 4}}, recoverable(), "not after"},
+		{"recover non-recoverable", Faults{CrashAtRound: map[int]int{1: 2}, RecoverAtRound: map[int]int{1: 4}}, plain(), "Recoverable"},
+		{"link down out of range", Faults{LinkDowns: []LinkDown{{U: 0, V: 9, RoundRange: RoundRange{0, 2}}}}, plain(), "LinkDowns"},
+		{"link down empty window", Faults{LinkDowns: []LinkDown{{U: 0, V: 1, RoundRange: RoundRange{3, 3}}}}, plain(), "window"},
+		{"partition out of range", Faults{Partitions: []Partition{{Side: []int{-2}, RoundRange: RoundRange{0, 2}}}}, plain(), "Partitions"},
+		{"burst inverted window", Faults{Bursts: []RoundRange{{5, 2}}}, plain(), "window"},
+	}
+	g := mustGraph(t, 3, [][2]int{{0, 1}, {1, 2}})
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Run(g, tt.nodes, Config{Seed: 1, Faults: tt.f})
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Run = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := Run(g, plain(), Config{Reliable: Reliable{RetryBudget: -1}}); err == nil || !strings.Contains(err.Error(), "RetryBudget") {
+		t.Fatalf("negative retry budget accepted: %v", err)
+	}
+}
+
+// faultRun executes the stress graph under a heavy fault schedule — drops,
+// duplication, bounded reordering, a burst, a partition, a downed link,
+// crashes and one recovery — and returns the stats plus a flat transcript
+// of every node's receive log: one string that must be byte-identical
+// across runner configurations.
 func faultRun(t *testing.T, seed int64, parallel bool, workers int) (Stats, string) {
 	t.Helper()
 	g := stressGraph(t)
 	n := g.N()
 	nodes := make([]Node, n)
-	recs := make([]*recNode, n)
+	recs := make([]*chaosNode, n)
 	for i := range nodes {
-		recs[i] = &recNode{stopAt: 4 + i/3}
+		recs[i] = &chaosNode{stopAt: 6 + i/3}
 		nodes[i] = recs[i]
 	}
 	stats, err := Run(g, nodes, Config{
@@ -61,9 +122,16 @@ func faultRun(t *testing.T, seed int64, parallel bool, workers int) (Stats, stri
 		Parallel: parallel,
 		Workers:  workers,
 		Faults: Faults{
-			DropProb:       0.4,
+			DropProb:       0.3,
 			DropUntilRound: 6,
+			DupProb:        0.2,
+			DelayProb:      0.2,
+			MaxDelay:       3,
 			CrashAtRound:   map[int]int{1: 2, 9: 3, 16: 1, 23: 5},
+			RecoverAtRound: map[int]int{9: 6},
+			Bursts:         []RoundRange{{4, 5}},
+			Partitions:     []Partition{{Side: []int{0, 1, 2, 3}, RoundRange: RoundRange{2, 4}}},
+			LinkDowns:      []LinkDown{{U: 5, V: 20, RoundRange: RoundRange{0, 8}}},
 		},
 	})
 	if err != nil {
@@ -79,17 +147,21 @@ func faultRun(t *testing.T, seed int64, parallel bool, workers int) (Stats, stri
 }
 
 // TestFaultScheduleDeterministicAcrossWorkers is the fault half of the I5
-// invariant: the injected drop stream and crash schedule are part of the
-// seeded run, so sequential and parallel runs at any worker count must
-// produce identical stats and identical per-node transcripts — and a
-// different seed must produce a different drop pattern.
+// invariant: the injected drop/dup/delay stream and the crash, recovery,
+// burst, partition, and link schedules are part of the seeded run, so
+// sequential and parallel runs at any worker count must produce identical
+// stats and identical per-node transcripts — and a different seed must
+// produce a different fault pattern.
 func TestFaultScheduleDeterministicAcrossWorkers(t *testing.T) {
 	refStats, refLog := faultRun(t, 424242, false, 0)
-	if refStats.Dropped == 0 {
-		t.Fatalf("schedule too tame, nothing dropped: %+v", refStats)
+	if refStats.Dropped == 0 || refStats.Duplicated == 0 || refStats.Delayed == 0 {
+		t.Fatalf("schedule too tame: %+v", refStats)
 	}
 	if refStats.Crashed != 4 {
 		t.Fatalf("Crashed = %d, want all 4 scheduled crashes", refStats.Crashed)
+	}
+	if refStats.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want the single scheduled recovery", refStats.Recovered)
 	}
 	for _, workers := range []int{1, 2, 8} {
 		stats, log := faultRun(t, 424242, true, workers)
@@ -105,33 +177,31 @@ func TestFaultScheduleDeterministicAcrossWorkers(t *testing.T) {
 	if againStats != refStats || againLog != refLog {
 		t.Error("re-running the identical sequential config changed the outcome")
 	}
-	// A different seed must actually reshuffle the drop stream.
+	// A different seed must actually reshuffle the fault stream.
 	_, otherLog := faultRun(t, 424243, false, 0)
 	if otherLog == refLog {
 		t.Error("different seed produced an identical transcript; fault stream is not seed-derived")
 	}
 }
 
-// TestCrashScheduleEdgeCases: out-of-range ids are ignored rather than
-// crashing the engine, and Crashed counts only nodes the schedule actually
-// halted (a node that halts on its own first is not double-counted).
+// TestCrashScheduleEdgeCases: a crash scheduled past the run's natural end
+// never fires, and Crashed counts only nodes the schedule actually halted
+// (a node that halts on its own first is not double-counted).
 func TestCrashScheduleEdgeCases(t *testing.T) {
 	g := mustGraph(t, 3, [][2]int{{0, 1}, {1, 2}})
 	nodes := []Node{&recNode{stopAt: 2}, &recNode{stopAt: 2}, &recNode{stopAt: 2}}
 	stats, err := Run(g, nodes, Config{
 		Seed: 7,
 		Faults: Faults{CrashAtRound: map[int]int{
-			-1: 1,  // ignored: negative id
-			99: 1,  // ignored: beyond the graph
-			2:  50, // never reached: run halts long before round 50
-			0:  1,
+			2: 50, // never reached: run halts long before round 50
+			0: 1,
 		}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Crashed != 1 {
-		t.Fatalf("Crashed = %d, want 1 (only node 0's crash is in range and in time)", stats.Crashed)
+		t.Fatalf("Crashed = %d, want 1 (only node 0's crash fires in time)", stats.Crashed)
 	}
 
 	// A crash scheduled for a node that already halted must not inflate the

@@ -102,9 +102,17 @@ func DecodeKindUvarint(p []byte) (kind byte, v uint64, ok bool) {
 	return p[0], v, true
 }
 
+// kindAck is the reliable-delivery shim's link-layer acknowledgement: one
+// kind byte plus the acknowledged sequence number as a uvarint. Acks never
+// travel through Env.Send — they are engine-level control traffic,
+// accounted in Stats.Acks/AckBits — but the kind is registered so traces
+// and the congestmsg contract can identify and bound it.
+const kindAck = '!'
+
 func init() {
 	// The engine's own protocol kinds. Value payloads are one kind byte
 	// plus one varint; a 32-bit Luby draw needs at most 5 varint bytes.
+	RegisterPayload(kindAck, "LINK-ACK", MaxKindVarintBits)
 	RegisterPayload(floodValue, "FLOOD-MIN", MaxKindVarintBits)
 	RegisterPayload(stLeader, "ST-LEADER", MaxKindVarintBits)
 	RegisterPayload(stLevel, "ST-LEVEL", MaxKindVarintBits)

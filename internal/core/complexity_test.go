@@ -10,7 +10,10 @@ import (
 // TestMessageComplexityBound verifies the protocol's message bound: per
 // iteration each edge carries at most a constant number of messages (one
 // OFFER, one GRANT, one CONNECT, one DONE in each direction at most), so
-// total messages <= c * E * iterations with c small.
+// total messages <= c * E * iterations with c small. The cleanup and
+// repair tail each fit in one extra "iteration": cleanup sends at most a
+// FORCE and a CONNECT per edge, repair at most a beacon per edge plus a
+// JOIN/FORCE and a CONNECT per client.
 func TestMessageComplexityBound(t *testing.T) {
 	for _, k := range []int{1, 9, 36} {
 		inst, err := gen.Uniform{M: 20, NC: 100}.Generate(2)
@@ -22,7 +25,7 @@ func TestMessageComplexityBound(t *testing.T) {
 			t.Fatal(err)
 		}
 		d := rep.Derived
-		iterations := int64(d.Phases*d.ItersPerPhase) + 1 // +1 for cleanup
+		iterations := int64(d.Phases*d.ItersPerPhase) + 2 // +2 for cleanup and repair
 		bound := 4 * int64(inst.EdgeCount()) * iterations
 		if rep.Net.Messages > bound {
 			t.Fatalf("K=%d: %d messages exceed 4*E*iters = %d", k, rep.Net.Messages, bound)

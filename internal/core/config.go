@@ -82,9 +82,23 @@ type Derived struct {
 	TotalRounds   int   // ProtoRounds + cleanup rounds
 }
 
-// cleanupRounds is the fixed tail after the phase sweep: FORCE, CONNECT,
-// final client processing.
-const cleanupRounds = 3
+// cleanupRounds is the fixed tail after the phase sweep. Layout, with
+// P = ProtoRounds:
+//
+//	P+0  clients  absorb the last CONNECT, FORCE the cheapest facility
+//	P+1  facilities  answer FORCE: open and connect the forced clients
+//	P+2  clients  absorb the forced CONNECT
+//	P+3  facilities  broadcast a REPAIR-BEACON (proof of life + open status)
+//	P+4  clients  repair pass: served clients halt; unserved clients
+//	              rejoin the cheapest open facility (REPAIR-JOIN) or ask
+//	              the cheapest alive one to open (REPAIR-FORCE)
+//	P+5  facilities  account joins, open for REPAIR-FORCE, connect, halt
+//	P+6  clients  on the force path absorb the repair CONNECT, halt
+//
+// The first three rounds are the paper's commitment barrier; the last four
+// are the self-healing repair pass that re-serves clients whose facility
+// crashed or whose GRANT/CONNECT was lost (see DESIGN.md).
+const cleanupRounds = 7
 
 // Derive computes the protocol parameters for inst under cfg.
 func Derive(inst *fl.Instance, cfg Config) (Derived, error) {

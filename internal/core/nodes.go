@@ -18,8 +18,9 @@ import (
 //	sub 3  facilities  process GRANTs; if the granted star still clears
 //	                slack * threshold, open and send CONNECT
 //
-// After Derived.ProtoRounds rounds, a fixed three-round cleanup connects
-// every remaining client to its cheapest facility.
+// After Derived.ProtoRounds rounds, a fixed seven-round tail (see the
+// cleanupRounds layout in config.go) connects every remaining client to its
+// cheapest facility and runs the self-healing repair pass.
 
 // facilityNode is facility i's state machine.
 //
@@ -62,9 +63,15 @@ type facilityNode struct {
 	granted    []int  // scratch: client node ids granted this iteration
 	buf        []byte
 
-	// openedForced reports whether the facility opened only during cleanup
-	// (used by the report).
+	// openedInCleanup reports whether the facility opened only during
+	// cleanup, openedInRepair only during the repair pass (used by the
+	// report).
 	openedInCleanup bool
+	openedInRepair  bool
+	// done is set when the facility completes its final round; a node that
+	// never gets there was crashed by a fault schedule and its state must
+	// not reach the solution.
+	done bool
 }
 
 type clientEdge struct {
@@ -72,7 +79,10 @@ type clientEdge struct {
 	cost int64
 }
 
-var _ congest.Node = (*facilityNode)(nil)
+var (
+	_ congest.Node        = (*facilityNode)(nil)
+	_ congest.Recoverable = (*facilityNode)(nil)
+)
 
 func newFacilityNode(inst *fl.Instance, i int, cfg Config, d Derived) *facilityNode {
 	m := inst.M()
@@ -111,6 +121,24 @@ func (f *facilityNode) deactivate(node int) {
 }
 
 func (f *facilityNode) Init(env *congest.Env) { f.env = env }
+
+// Recover resets the facility to its post-Init state after an injected
+// crash: every client is active again, the facility is closed and empty.
+// The environment (identity, neighbours, rng) survives in the engine.
+func (f *facilityNode) Recover() {
+	for pos := range f.active {
+		f.active[pos] = true
+	}
+	f.open, f.copies, f.load = false, 0, 0
+	f.starDirty = true
+	for _, pos := range f.offeredPos {
+		f.offeredAt[pos] = false
+	}
+	f.offeredPos = f.offeredPos[:0]
+	f.offerClass = 0
+	f.granted = f.granted[:0]
+	f.openedInCleanup, f.openedInRepair, f.done = false, false, false
+}
 
 func (f *facilityNode) Round(r int, inbox []congest.Message) bool {
 	if r >= f.d.ProtoRounds {
@@ -249,8 +277,11 @@ func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
 		}
 		pos, ok := f.posOf[msg.From]
 		if !ok || !f.offeredAt[pos] {
-			continue // stale or malicious grant
+			continue // stale, duplicated, or malicious grant
 		}
+		// Consuming the offer slot makes a duplicated GRANT (wire-level
+		// duplication fault) indistinguishable from a stale one.
+		f.offeredAt[pos] = false
 		granted = append(granted, msg.From)
 		sum = fl.AddSat(sum, f.edges[pos].cost)
 	}
@@ -285,26 +316,81 @@ func (f *facilityNode) connect(nodes []int) {
 	}
 }
 
-// cleanupRound handles the fixed tail: at ProtoRounds+1 the facility
-// receives FORCE requests from clients with no other option, opens, and
-// connects them.
+// cleanupRound handles the fixed tail (see the cleanupRounds layout in
+// config.go): answer FORCE at P+1, broadcast the repair beacon at P+3,
+// settle repair joins and forces at P+5, then halt.
 func (f *facilityNode) cleanupRound(r int, inbox []congest.Message) bool {
-	if r == f.d.ProtoRounds+1 {
-		var forced []int
-		for _, msg := range inbox {
-			if len(msg.Payload) == 1 && msg.Payload[0] == kindForce {
-				forced = append(forced, msg.From)
-			}
+	switch rr := r - f.d.ProtoRounds; {
+	case rr == 1:
+		f.connectForced(inbox, kindForce, &f.openedInCleanup)
+	case rr == 3:
+		// Proof of life plus open status: clients decide the repair pass
+		// entirely from these beacons, so a crashed facility (no beacon)
+		// and a recovered-but-closed one (closed beacon) both trigger
+		// reassignment.
+		b := encodeBeacon(f.buf, f.open)
+		f.buf = b
+		f.env.Broadcast(b)
+	case rr >= 5:
+		// rr > 5 only happens to a facility recovered after the repair
+		// settle: it halts immediately, without done, so the masking pass
+		// treats it as dead.
+		if rr == 5 {
+			f.processRepair(inbox)
+			f.done = true
 		}
-		if len(forced) > 0 {
-			if !f.open {
-				f.openedInCleanup = true
-			}
-			f.connect(forced)
-		}
-		return true // nothing left to do after answering FORCE
+		return true
 	}
 	return false
+}
+
+// connectForced opens for the clients that forced this facility and
+// connects them. Wire-level duplicates arrive adjacent (inboxes are sorted
+// by sender) and are folded, which keeps connect's one-send-per-client
+// contract intact.
+func (f *facilityNode) connectForced(inbox []congest.Message, kind byte, openedFlag *bool) {
+	var forced []int
+	for _, msg := range inbox {
+		if len(msg.Payload) != 1 || msg.Payload[0] != kind {
+			continue
+		}
+		if len(forced) > 0 && forced[len(forced)-1] == msg.From {
+			continue // duplicated force
+		}
+		forced = append(forced, msg.From)
+	}
+	if len(forced) == 0 {
+		return
+	}
+	if !f.open {
+		*openedFlag = true
+	}
+	f.connect(forced)
+}
+
+// processRepair settles the repair pass on the facility side: REPAIR-JOIN
+// clients unilaterally joined this (open) facility and only need load and
+// copy accounting; REPAIR-FORCE clients found no open facility alive and
+// are connected the same way the cleanup fallback connects them.
+func (f *facilityNode) processRepair(inbox []congest.Message) {
+	joins := 0
+	last := -1
+	for _, msg := range inbox {
+		if len(msg.Payload) != 1 || msg.Payload[0] != kindRepairJoin || msg.From == last {
+			continue
+		}
+		last = msg.From
+		joins++
+	}
+	if joins > 0 {
+		f.load += joins
+		if f.cfg.SoftCapacity > 0 {
+			if need := fl.CopiesNeeded(f.load, f.cfg.SoftCapacity); need > f.copies {
+				f.copies = need
+			}
+		}
+	}
+	f.connectForced(inbox, kindRepairForce, &f.openedInRepair)
 }
 
 // clientNode is client j's state machine.
@@ -320,11 +406,23 @@ type clientNode struct {
 	granted   int  // facility node id granted this iteration, or -1
 
 	// cleanupConnected reports whether the client only connected via the
-	// cleanup fallback (used by the report).
+	// cleanup fallback; repairConnected whether the repair pass had to
+	// reassign it (both used by the report).
 	cleanupConnected bool
+	repairConnected  bool
+	// repairForced is set while the client waits for the CONNECT that
+	// answers its REPAIR-FORCE.
+	repairForced bool
+	// done is set when the client completes its final round; a node that
+	// never gets there was crashed by a fault schedule and its assignment
+	// must not reach the solution.
+	done bool
 }
 
-var _ congest.Node = (*clientNode)(nil)
+var (
+	_ congest.Node        = (*clientNode)(nil)
+	_ congest.Recoverable = (*clientNode)(nil)
+)
 
 func newClientNode(inst *fl.Instance, j int, cfg Config, d Derived) *clientNode {
 	return &clientNode{
@@ -338,6 +436,18 @@ func newClientNode(inst *fl.Instance, j int, cfg Config, d Derived) *clientNode 
 }
 
 func (c *clientNode) Init(env *congest.Env) { c.env = env }
+
+// Recover resets the client to its post-Init state after an injected
+// crash: unassigned, unannounced, holding no grant.
+func (c *clientNode) Recover() {
+	c.assigned = fl.Unassigned
+	c.announced = false
+	c.granted = -1
+	c.cleanupConnected = false
+	c.repairConnected = false
+	c.repairForced = false
+	c.done = false
+}
 
 func (c *clientNode) Round(r int, inbox []congest.Message) bool {
 	switch {
@@ -354,8 +464,26 @@ func (c *clientNode) Round(r int, inbox []congest.Message) bool {
 		return false
 	case r == c.d.ProtoRounds+1:
 		return false // facilities answer FORCE this round
-	case r >= c.d.ProtoRounds+2:
+	case r == c.d.ProtoRounds+2:
 		c.processConnect(inbox, true)
+		return false // stay for the repair pass
+	case r == c.d.ProtoRounds+3:
+		return false // facilities broadcast repair beacons this round
+	case r == c.d.ProtoRounds+4:
+		c.repairRound(inbox)
+		return false
+	case r == c.d.ProtoRounds+5:
+		return false // the forced facility answers this round
+	case r >= c.d.ProtoRounds+6:
+		// Every client halts here, forced or not, so the termination
+		// round is schedule-fixed at TotalRounds.
+		if c.repairForced {
+			c.processConnect(inbox, true)
+			if c.assigned != fl.Unassigned {
+				c.repairConnected = true
+			}
+		}
+		c.done = true
 		return true
 	}
 	switch r % 4 {
@@ -430,4 +558,50 @@ func (c *clientNode) pickOffer(inbox []congest.Message) {
 	}
 	c.granted = best
 	c.env.Send(best, payloadGrant)
+}
+
+// repairRound is the client half of the self-healing pass. The beacons
+// broadcast at P+3 are the client's complete view: a facility with no
+// beacon is dead, a closed beacon means the facility lost its open state
+// (it crashed and recovered). A served client — assigned to a facility
+// whose beacon says open — halts immediately. An unserved one (facility
+// crashed, or its GRANT/CONNECT was lost on the wire) deterministically
+// reconnects to the cheapest open facility in reach with a unilateral
+// REPAIR-JOIN; if no open facility is alive it asks the cheapest alive one
+// to open with REPAIR-FORCE and stays one more exchange for the CONNECT.
+// A client whose every facility is dead is unservable under this fault
+// schedule: it halts unassigned and the certifier exempts it.
+func (c *clientNode) repairRound(inbox []congest.Message) {
+	alive := make(map[int]bool, len(inbox))
+	openF := make(map[int]bool, len(inbox))
+	for _, msg := range inbox {
+		if open, ok := decodeBeacon(msg.Payload); ok {
+			alive[msg.From] = true
+			if open {
+				openF[msg.From] = true
+			}
+		}
+	}
+	if c.assigned != fl.Unassigned && openF[c.assigned] {
+		return // served: the assignment survived the faults
+	}
+	c.assigned = fl.Unassigned
+	for _, e := range c.inst.ClientEdges(c.idx) {
+		if openF[e.To] { // facility index == facility node id
+			c.assigned = e.To
+			c.repairConnected = true
+			c.env.Send(e.To, payloadRepairJoin)
+			return
+		}
+	}
+	for _, e := range c.inst.ClientEdges(c.idx) {
+		if alive[e.To] {
+			c.repairForced = true
+			c.env.Send(e.To, payloadRepairForce)
+			return
+		}
+	}
+	// Every facility in reach is dead: the client is unservable under
+	// this fault schedule; it halts unassigned and the certifier
+	// exempts it.
 }

@@ -22,18 +22,36 @@ type Report struct {
 	CleanupClients int
 	// CleanupFacilities counts facilities opened only by the fallback.
 	CleanupFacilities int
-	// OpenFacilities is the total number of open facilities.
+	// OpenFacilities is the total number of open facilities in the returned
+	// solution (after dead-node masking).
 	OpenFacilities int
+	// RepairedClients counts clients the self-healing repair pass had to
+	// reassign (their facility crashed, or a GRANT/CONNECT was lost).
+	RepairedClients int
+	// Cost is the total cost of the returned solution, recomputed and
+	// cross-checked by the certifier.
+	Cost int64
+	// DeadFacilities and DeadClients list nodes that never completed the
+	// protocol — crashed by the fault schedule without recovering in time.
+	// Their state is masked out of the returned solution.
+	DeadFacilities []int
+	DeadClients    []int
+	// UnservableClients lists clients that finished the protocol but found
+	// every reachable facility dead; they end unassigned and the certifier
+	// exempts them from the feasibility check.
+	UnservableClients []int
 }
 
 // options collects run-level knobs; see the With* functions.
 type options struct {
-	seed     int64
-	parallel bool
-	workers  int
-	bitLimit int // <0: engine default from network size; 0: unlimited
-	observer func(round int, delivered []congest.Message)
-	dropProb float64
+	seed        int64
+	parallel    bool
+	workers     int
+	bitLimit    int // <0: engine default from network size; 0: unlimited
+	observer    func(round int, delivered []congest.Message)
+	dropProb    float64
+	faults      congest.Faults
+	retryBudget int // reliable-delivery shim budget; 0 = shim off
 }
 
 // Option configures Solve.
@@ -71,6 +89,27 @@ func WithLossyNetwork(p float64) Option {
 	return func(o *options) { o.dropProb = p }
 }
 
+// WithFaults injects a full adversarial fault schedule — probabilistic
+// drops, duplication and bounded reordering, burst/link/partition windows,
+// and crash-with-recovery — into the run (see congest.Faults). As with
+// WithLossyNetwork, a DropProb or DelayProb given without an explicit
+// ...UntilRound window is clamped to the phase sweep, keeping the
+// cleanup-and-repair tail a reliable commitment barrier; set the window
+// explicitly to push faults into the tail (the certifier will tell you
+// whether the solution survived). Crash/recovery schedules and the other
+// deterministic windows are passed through verbatim.
+func WithFaults(f congest.Faults) Option {
+	return func(o *options) { o.faults = f }
+}
+
+// WithReliableDelivery layers the engine's per-link ack/retransmit shim
+// under every protocol message, with the given per-frame retransmission
+// budget (see congest.Reliable). Retransmit and ack traffic is accounted
+// separately in the report's Net stats, never in Messages/Bits.
+func WithReliableDelivery(retryBudget int) Option {
+	return func(o *options) { o.retryBudget = retryBudget }
+}
+
 // Solve runs the distributed facility-location protocol on inst at the
 // trade-off point selected by cfg and returns the (always feasible)
 // solution together with a run report. For the soft-capacitated variant
@@ -85,12 +124,28 @@ func Solve(inst *fl.Instance, cfg Config, opts ...Option) (*fl.Solution, *Report
 	}
 	sol := fl.NewSolution(inst)
 	for i, f := range facilities {
+		if !f.done {
+			// The facility was crashed by the fault schedule and never
+			// completed; whatever it believed is masked out. Clients it
+			// served were reassigned by the repair pass.
+			rep.DeadFacilities = append(rep.DeadFacilities, i)
+			continue
+		}
 		sol.Open[i] = f.open
 	}
 	for j, c := range clients {
+		if !c.done {
+			rep.DeadClients = append(rep.DeadClients, j)
+			continue
+		}
 		sol.Assign[j] = c.assigned
+		if c.assigned == fl.Unassigned {
+			rep.UnservableClients = append(rep.UnservableClients, j)
+		}
 	}
-	if err := fl.Validate(inst, sol); err != nil {
+	rep.OpenFacilities = sol.OpenCount()
+	rep.Cost = sol.Cost(inst)
+	if err := Certify(inst, sol, rep); err != nil {
 		return nil, nil, fmt.Errorf("core: protocol produced invalid solution: %w", err)
 	}
 	return sol, rep, nil
@@ -110,15 +165,40 @@ func SolveSoftCap(inst *fl.Instance, cfg Config, opts ...Option) (*fl.CapSolutio
 	}
 	sol := fl.NewCapSolution(inst)
 	for i, f := range facilities {
+		if !f.done {
+			rep.DeadFacilities = append(rep.DeadFacilities, i)
+			continue
+		}
 		sol.Copies[i] = f.copies
 	}
 	for j, c := range clients {
+		if !c.done {
+			rep.DeadClients = append(rep.DeadClients, j)
+			continue
+		}
 		sol.Assign[j] = c.assigned
+		if c.assigned == fl.Unassigned {
+			rep.UnservableClients = append(rep.UnservableClients, j)
+		}
 	}
-	// A CONNECT lost to injected faults can leave a facility holding more
-	// copies than its realized load needs; trimming is free.
+	// Faults can leave copy counts out of step with the realized load in
+	// both directions: a lost CONNECT leaves a facility over-provisioned, a
+	// lost REPAIR-JOIN under-provisioned. Raise where short (feasibility),
+	// then trim the excess (free).
+	load := sol.Load(inst)
+	for i := range sol.Copies {
+		if need := fl.CopiesNeeded(load[i], cfg.SoftCapacity); need > sol.Copies[i] {
+			sol.Copies[i] = need
+		}
+	}
 	sol = fl.TrimCopies(inst, cfg.SoftCapacity, sol)
-	if err := fl.ValidateCap(inst, cfg.SoftCapacity, sol); err != nil {
+	for i := range sol.Copies {
+		if sol.Copies[i] > 0 {
+			rep.OpenFacilities++
+		}
+	}
+	rep.Cost = sol.Cost(inst)
+	if err := CertifyCap(inst, cfg.SoftCapacity, sol, rep); err != nil {
 		return nil, nil, fmt.Errorf("core: protocol produced invalid capacitated solution: %w", err)
 	}
 	return sol, rep, nil
@@ -162,18 +242,38 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 		nodes = append(nodes, clients[j])
 	}
 
-	var faults congest.Faults
+	faults := o.faults
 	if o.dropProb > 0 {
-		faults = congest.Faults{DropProb: o.dropProb, DropUntilRound: d.ProtoRounds}
+		faults.DropProb = o.dropProb
+		faults.DropUntilRound = 0
+	}
+	// Probabilistic faults with no explicit window stay out of the
+	// cleanup-and-repair tail: those rounds are the protocol's reliable
+	// commitment barrier.
+	if faults.DropProb > 0 && faults.DropUntilRound == 0 {
+		faults.DropUntilRound = d.ProtoRounds
+	}
+	if faults.DelayProb > 0 && faults.DelayUntilRound == 0 {
+		faults.DelayUntilRound = d.ProtoRounds
+	}
+	// A recovery scheduled near (or past) the normal end of the run still
+	// deserves its rejoin-and-halt rounds before the budget trips.
+	maxRounds := d.TotalRounds + 4
+	// Commutative max: iteration order cannot change the result.
+	for _, at := range faults.RecoverAtRound {
+		if at+cleanupRounds+4 > maxRounds {
+			maxRounds = at + cleanupRounds + 4
+		}
 	}
 	stats, err := congest.Run(graph, nodes, congest.Config{
 		BitLimit:  bitLimit,
 		Seed:      o.seed,
-		MaxRounds: d.TotalRounds + 4,
+		MaxRounds: maxRounds,
 		Parallel:  o.parallel,
 		Workers:   o.workers,
 		Observer:  o.observer,
 		Faults:    faults,
+		Reliable:  congest.Reliable{RetryBudget: o.retryBudget},
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: protocol execution: %w", err)
@@ -181,16 +281,16 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 
 	rep := &Report{Derived: d, Net: stats}
 	for _, f := range facilities {
-		if f.open {
-			rep.OpenFacilities++
-		}
 		if f.openedInCleanup {
 			rep.CleanupFacilities++
 		}
 	}
 	for _, c := range clients {
-		if c.cleanupConnected {
+		if c.done && c.cleanupConnected {
 			rep.CleanupClients++
+		}
+		if c.done && c.repairConnected {
+			rep.RepairedClients++
 		}
 	}
 	return facilities, clients, rep, nil

@@ -29,11 +29,14 @@ import (
 // Wire message kinds. One byte on the wire, followed by kind-specific
 // varint fields. Enum starts at 1 so a zero byte is never a valid message.
 const (
-	kindDone    byte = iota + 1 // client -> facilities: I am connected, drop me
-	kindOffer                   // facility -> clients: join my star (carries priority)
-	kindGrant                   // client -> facility: I accept your offer
-	kindConnect                 // facility -> client: star opened, you are connected
-	kindForce                   // client -> facility: cleanup, open for me
+	kindDone         byte = iota + 1 // client -> facilities: I am connected, drop me
+	kindOffer                        // facility -> clients: join my star (carries priority)
+	kindGrant                        // client -> facility: I accept your offer
+	kindConnect                      // facility -> client: star opened, you are connected
+	kindForce                        // client -> facility: cleanup, open for me
+	kindRepairBeacon                 // facility -> clients: repair pass, liveness + open status
+	kindRepairJoin                   // client -> facility: repair pass, joining your open facility
+	kindRepairForce                  // client -> facility: repair pass, open for me (nothing else reachable)
 )
 
 // maxOfferBits bounds the encoded OFFER: one kind byte plus three uvarints
@@ -50,6 +53,9 @@ func init() {
 	congest.RegisterPayload(kindGrant, "FL-GRANT", 8)
 	congest.RegisterPayload(kindConnect, "FL-CONNECT", 8)
 	congest.RegisterPayload(kindForce, "FL-FORCE", 8)
+	congest.RegisterPayload(kindRepairBeacon, "FL-REPAIR-BEACON", maxBeaconBits)
+	congest.RegisterPayload(kindRepairJoin, "FL-REPAIR-JOIN", 8)
+	congest.RegisterPayload(kindRepairForce, "FL-REPAIR-FORCE", 8)
 }
 
 // encodeOffer renders an OFFER carrying the star's effectiveness class, a
@@ -93,11 +99,37 @@ func decodeOffer(p []byte) (class, fine int, prio uint32, err error) {
 }
 
 var (
-	payloadDone    = []byte{kindDone}
-	payloadGrant   = []byte{kindGrant}
-	payloadConnect = []byte{kindConnect}
-	payloadForce   = []byte{kindForce}
+	payloadDone        = []byte{kindDone}
+	payloadGrant       = []byte{kindGrant}
+	payloadConnect     = []byte{kindConnect}
+	payloadForce       = []byte{kindForce}
+	payloadRepairJoin  = []byte{kindRepairJoin}
+	payloadRepairForce = []byte{kindRepairForce}
 )
+
+// maxBeaconBits bounds the REPAIR-BEACON: one kind byte plus one status
+// byte (1 = open, 0 = closed).
+const maxBeaconBits = 16
+
+// encodeBeacon renders a facility's repair-pass beacon — proof of life
+// plus its open/closed status — into buf, returning the encoded slice.
+//
+//flvet:encoder maxbits=16
+func encodeBeacon(buf []byte, open bool) []byte {
+	status := byte(0)
+	if open {
+		status = 1
+	}
+	return append(buf[:0], kindRepairBeacon, status)
+}
+
+// decodeBeacon parses a REPAIR-BEACON payload.
+func decodeBeacon(p []byte) (open, ok bool) {
+	if len(p) != 2 || p[0] != kindRepairBeacon || p[1] > 1 {
+		return false, false
+	}
+	return p[1] == 1, true
+}
 
 // IsConnect reports whether a wire payload is a CONNECT message; the
 // convergence experiment uses it to observe protocol progress from the
@@ -124,6 +156,15 @@ func DescribePayload(p []byte) string {
 		return "CONNECT"
 	case kindForce:
 		return "FORCE-OPEN"
+	case kindRepairBeacon:
+		if open, ok := decodeBeacon(p); ok {
+			return fmt.Sprintf("REPAIR-BEACON(open=%v)", open)
+		}
+		return "REPAIR-BEACON(malformed)"
+	case kindRepairJoin:
+		return "REPAIR-JOIN"
+	case kindRepairForce:
+		return "REPAIR-FORCE"
 	default:
 		return fmt.Sprintf("UNKNOWN(% x)", p)
 	}

@@ -12,11 +12,14 @@ import (
 // still recognizes each kind.
 func TestPayloadRegistration(t *testing.T) {
 	kinds := map[byte]string{
-		kindDone:    "FL-DONE",
-		kindOffer:   "FL-OFFER",
-		kindGrant:   "FL-GRANT",
-		kindConnect: "FL-CONNECT",
-		kindForce:   "FL-FORCE",
+		kindDone:         "FL-DONE",
+		kindOffer:        "FL-OFFER",
+		kindGrant:        "FL-GRANT",
+		kindConnect:      "FL-CONNECT",
+		kindForce:        "FL-FORCE",
+		kindRepairBeacon: "FL-REPAIR-BEACON",
+		kindRepairJoin:   "FL-REPAIR-JOIN",
+		kindRepairForce:  "FL-REPAIR-FORCE",
 	}
 	for kind, name := range kinds {
 		mb, ok := congest.PayloadMaxBits(kind)
@@ -24,11 +27,11 @@ func TestPayloadRegistration(t *testing.T) {
 			t.Errorf("kind %s (%#x) not registered", name, kind)
 			continue
 		}
-		if kind != kindOffer && mb != 8 {
+		if kind != kindOffer && kind != kindRepairBeacon && mb != 8 {
 			t.Errorf("kind %s registered at %d bits, want 8", name, mb)
 		}
 	}
-	for _, p := range [][]byte{payloadDone, payloadGrant, payloadConnect, payloadForce} {
+	for _, p := range [][]byte{payloadDone, payloadGrant, payloadConnect, payloadForce, payloadRepairJoin, payloadRepairForce} {
 		mb, ok := congest.PayloadMaxBits(p[0])
 		if !ok || len(p)*8 > mb {
 			t.Errorf("payload % x exceeds registered bound (%d bits, ok=%v)", p, mb, ok)
@@ -36,6 +39,22 @@ func TestPayloadRegistration(t *testing.T) {
 	}
 	if mb, _ := congest.PayloadMaxBits(kindOffer); mb != maxOfferBits {
 		t.Errorf("OFFER registered at %d bits, want %d", mb, maxOfferBits)
+	}
+	if mb, _ := congest.PayloadMaxBits(kindRepairBeacon); mb != maxBeaconBits {
+		t.Errorf("REPAIR-BEACON registered at %d bits, want %d", mb, maxBeaconBits)
+	}
+	for _, open := range []bool{false, true} {
+		p := encodeBeacon(nil, open)
+		if len(p)*8 > maxBeaconBits {
+			t.Errorf("beacon(open=%v) encodes to %d bits, bound %d", open, len(p)*8, maxBeaconBits)
+		}
+		got, ok := decodeBeacon(p)
+		if !ok || got != open {
+			t.Errorf("beacon(open=%v) round trip failed: (%v,%v)", open, got, ok)
+		}
+	}
+	if _, ok := decodeBeacon([]byte{kindRepairBeacon, 2}); ok {
+		t.Error("malformed beacon status accepted")
 	}
 }
 
