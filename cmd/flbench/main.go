@@ -8,13 +8,14 @@
 //
 // Usage:
 //
-//	flbench [-exp all|E1..E14] [-quick] [-seed N] [-runs N] [-out DIR]
+//	flbench [-exp all|E1..E15] [-quick] [-seed N] [-runs N] [-out DIR]
 //	        [-faults SPEC] [-json FILE] [-note STR]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
-// -faults injects an adversarial fault schedule into the chaos experiment
-// (E14), e.g. -faults drop=0.2,crash=3@5 — see bench.ParseFaultSpec for
-// the full syntax.
+// -faults injects an adversarial fault schedule into the chaos and
+// byzantine experiments (E14, E15), e.g.
+// -faults drop=0.2,crash=3@5,corrupt=0.3,byz=0@8 — see bench.ParseFaultSpec
+// for the full syntax.
 package main
 
 import (
@@ -43,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E14) or 'all'")
+		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E15) or 'all'")
 		quick      = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
 		seed       = fs.Int64("seed", 1, "master seed for instances and protocols")
 		runs       = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")
@@ -51,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		listOnly   = fs.Bool("list", false, "list experiments and exit")
 		jsonPath   = fs.String("json", "", "write all produced tables as one machine-readable JSON report")
 		note       = fs.String("note", "", "free-form annotation recorded in the -json report")
-		faultSpec  = fs.String("faults", "", "fault schedule for the chaos experiment, e.g. drop=0.2,crash=3@5")
+		faultSpec  = fs.String("faults", "", "fault schedule for the chaos/byzantine experiments, e.g. drop=0.2,crash=3@5,corrupt=0.3,byz=0@8")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)

@@ -1,8 +1,9 @@
 // Command flvet is the multichecker driver for the repo's custom static
-// analyzers (internal/analysis): detrand, maporder, congestmsg, and
-// poolonly — the compile-time-checked half of the simulator's determinism
-// and CONGEST contracts. `make lint` (folded into `make check`) runs it
-// over ./..., so every change is gated on the suite.
+// analyzers (internal/analysis): detrand, maporder, congestmsg, poolonly,
+// and failclosed — the compile-time-checked half of the simulator's
+// determinism, CONGEST, and fail-closed wire contracts. `make lint`
+// (folded into `make check`) runs it over ./..., so every change is gated
+// on the suite.
 //
 // Usage:
 //

@@ -122,6 +122,21 @@ var (
 	// WithReliableDelivery layers a per-link ack/retransmit shim under
 	// every protocol message with the given retry budget.
 	WithReliableDelivery = core.WithReliableDelivery
+	// WithCorruption mutates each delivered message with the given
+	// probability (bit flips, truncations, forged kind bytes); fail-closed
+	// decoding and the sender-quarantine layer keep the certified result
+	// feasible for honest clients.
+	WithCorruption = core.WithCorruption
+	// WithByzantine marks nodes byzantine from a given round: everything
+	// they put on the wire is adversarially forged (equivocating offers and
+	// beacons, bogus grants and connects). Facility i is node i, client j
+	// is node m+j; the report lists the byzantine ids and every client they
+	// deceived, all masked out of the certified solution.
+	WithByzantine = core.WithByzantine
+	// WithQuarantine forces the sender-quarantine layer on or off,
+	// overriding the default (armed exactly when the schedule includes
+	// corruption or byzantine nodes).
+	WithQuarantine = core.WithQuarantine
 )
 
 // FaultSchedule configures injected failures for WithFaults; the zero

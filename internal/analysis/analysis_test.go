@@ -10,6 +10,7 @@ func TestDetrandGolden(t *testing.T)    { RunGolden(t, Detrand, "detrand") }
 func TestMaporderGolden(t *testing.T)   { RunGolden(t, Maporder, "maporder") }
 func TestCongestmsgGolden(t *testing.T) { RunGolden(t, Congestmsg, "congestmsg") }
 func TestPoolonlyGolden(t *testing.T)   { RunGolden(t, Poolonly, "poolonly") }
+func TestFailclosedGolden(t *testing.T) { RunGolden(t, Failclosed, "failclosed") }
 
 func TestSuiteMetadata(t *testing.T) {
 	seen := map[string]bool{}

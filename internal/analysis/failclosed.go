@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Failclosed mechanically backs the byzantine-hardening contract: wire
+// decoders must be fail-closed, and the first way a decoder fails open is
+// by indexing payload bytes the frame may not have. The analyzer flags
+// every index into a []byte value that is not preceded (in source order,
+// within the same function) by a length observation of that same
+// expression — a `len(p)` comparison or a `range p` loop. Short-circuit
+// guards on one line (`len(p) != 1 || p[0] != k`) count, because the len
+// call precedes the index.
+//
+// The check is a per-function heuristic, not a data-flow analysis: any
+// earlier len/range mention of the same expression counts as the guard,
+// and slice expressions (p[a:b]) are out of scope. An index that is
+// bounds-safe for out-of-band reasons may be annotated `//flvet:guarded`.
+var Failclosed = &Analyzer{
+	Name: "failclosed",
+	Doc:  "require a length guard before indexing wire payload bytes",
+	Packages: []string{
+		"dfl/internal/core",
+		"dfl/internal/congest",
+	},
+	Run: runFailclosed,
+}
+
+func runFailclosed(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFailclosed(pass, fd)
+		}
+	}
+}
+
+func checkFailclosed(pass *Pass, fd *ast.FuncDecl) {
+	// guards maps the rendered source of a []byte expression to the
+	// earliest position after which its length has been observed.
+	guards := map[string]token.Pos{}
+	record := func(e ast.Expr, pos token.Pos) {
+		if !isByteSliceExpr(pass, e) {
+			return
+		}
+		key := exprString(e)
+		if old, ok := guards[key]; !ok || pos < old {
+			guards[key] = pos
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				record(n.Args[0], n.End())
+			}
+		case *ast.RangeStmt:
+			// Ranging over the bytes observes the length by construction.
+			record(n.X, n.X.End())
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ie, ok := n.(*ast.IndexExpr)
+		if !ok || !isByteSliceExpr(pass, ie.X) {
+			return true
+		}
+		if pos, ok := guards[exprString(ie.X)]; ok && pos <= ie.Pos() {
+			return true
+		}
+		if _, exempt := pass.directiveAt(ie.Pos(), "guarded"); exempt {
+			return true
+		}
+		pass.Reportf(ie.Pos(), "index %s without a preceding len(%s) guard; wire decoders must be fail-closed on short frames (annotate //flvet:guarded only with an out-of-band bound)",
+			exprString(ie), exprString(ie.X))
+		return true
+	})
+}
+
+// isByteSliceExpr reports whether e's static type is a byte slice.
+func isByteSliceExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	return t != nil && isByteSliceType(t)
+}

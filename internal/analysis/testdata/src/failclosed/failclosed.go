@@ -1,0 +1,70 @@
+// Package failclosed seeds violations (and legitimate patterns) for the
+// failclosed analyzer's golden test.
+package failclosed
+
+// decodeNaked indexes the payload with no length check at all: the
+// canonical fail-open decoder.
+func decodeNaked(p []byte) byte {
+	return p[0] // want `index p\[0\] without a preceding len\(p\) guard`
+}
+
+// decodeGuarded is the idiom the analyzer wants: reject short frames first.
+func decodeGuarded(p []byte) (byte, bool) {
+	if len(p) < 2 {
+		return 0, false
+	}
+	return p[1], true
+}
+
+// decodeShortCircuit guards and indexes in one boolean expression; the len
+// call precedes the index, so short-circuit evaluation makes it safe.
+func decodeShortCircuit(p []byte) bool {
+	return len(p) == 1 && p[0] == 'k'
+}
+
+// decodeLateGuard checks the length only after the damage is done.
+func decodeLateGuard(p []byte) byte {
+	b := p[2] // want `index p\[2\] without a preceding len\(p\) guard`
+	if len(p) < 3 {
+		return 0
+	}
+	return b
+}
+
+// decodeRange observes the length by ranging; indexing after is fine.
+func decodeRange(p []byte) int {
+	n := 0
+	for i := range p {
+		n += int(p[i])
+	}
+	return n
+}
+
+// decodeField guards one field expression but indexes another: the guard
+// must match the indexed expression exactly.
+type frame struct{ head, body []byte }
+
+func decodeField(f frame) byte {
+	if len(f.head) == 0 {
+		return 0
+	}
+	_ = f.head[0]
+	return f.body[0] // want `index f\.body\[0\] without a preceding len\(f\.body\) guard`
+}
+
+// decodeExempt is bounds-safe for an out-of-band reason and says so.
+func decodeExempt(p []byte) byte {
+	//flvet:guarded caller hands fixed 4-byte frames
+	return p[3]
+}
+
+// writeByte stores into unguarded payload bytes: stores panic on short
+// frames exactly like loads.
+func writeByte(p []byte) {
+	p[0] = 1 // want `index p\[0\] without a preceding len\(p\) guard`
+}
+
+// notBytes indexes a non-byte slice; other analyzers' territory.
+func notBytes(v []int) int {
+	return v[0]
+}

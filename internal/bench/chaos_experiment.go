@@ -20,6 +20,9 @@ import (
 //	crash=ID@R    crash node ID at round R (repeatable)
 //	recover=ID@R  recover node ID at round R (repeatable, needs crash)
 //	burst=A-B     drop everything in rounds [A,B) (repeatable)
+//	corrupt=P     corrupt each delivered message with probability P
+//	corrupt=P@R   ... but only in rounds < R (explicit window)
+//	byz=ID@R      node ID turns byzantine at round R (repeatable)
 //
 // Example: "drop=0.2,crash=3@5,recover=3@20,burst=10-12". Validation
 // beyond syntax (probability ranges, node ids, window sanity) is done by
@@ -94,6 +97,37 @@ func ParseFaultSpec(spec string) (congest.Faults, error) {
 				}
 				f.RecoverAtRound[id] = r
 			}
+		case "corrupt":
+			ps, rs, windowed := strings.Cut(val, "@")
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil {
+				return f, fmt.Errorf("bench: corrupt probability %q: %w", ps, err)
+			}
+			f.CorruptProb = p
+			if windowed {
+				r, err := strconv.Atoi(rs)
+				if err != nil {
+					return f, fmt.Errorf("bench: corrupt window %q: %w", rs, err)
+				}
+				f.CorruptUntilRound = r
+			}
+		case "byz":
+			ids, rs, ok := strings.Cut(val, "@")
+			if !ok {
+				return f, fmt.Errorf("bench: byz token %q needs ID@R", tok)
+			}
+			id, err := strconv.Atoi(ids)
+			if err != nil {
+				return f, fmt.Errorf("bench: byz node %q: %w", ids, err)
+			}
+			r, err := strconv.Atoi(rs)
+			if err != nil {
+				return f, fmt.Errorf("bench: byz round %q: %w", rs, err)
+			}
+			if f.ByzantineFromRound == nil {
+				f.ByzantineFromRound = make(map[int]int)
+			}
+			f.ByzantineFromRound[id] = r
 		case "burst":
 			as, bs, ok := strings.Cut(val, "-")
 			if !ok {
@@ -109,7 +143,7 @@ func ParseFaultSpec(spec string) (congest.Faults, error) {
 			}
 			f.Bursts = append(f.Bursts, congest.RoundRange{FromRound: a, ToRound: b})
 		default:
-			return f, fmt.Errorf("bench: unknown fault key %q (have drop, dup, delay, crash, recover, burst)", key)
+			return f, fmt.Errorf("bench: unknown fault key %q (have drop, dup, delay, crash, recover, burst, corrupt, byz)", key)
 		}
 	}
 	return f, nil

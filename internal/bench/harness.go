@@ -76,6 +76,8 @@ func Experiments() []Experiment {
 			Claim: "the simulator itself scales: rounds/sec tracks hardware, allocs/round stay flat", Run: EngineThroughput},
 		{ID: "E14", Kind: "table", Name: "Self-healing under adversarial fault schedules",
 			Claim: "crashes, duplication and heavy loss cost quality, never certified feasibility", Run: ChaosOverhead},
+		{ID: "E15", Kind: "table", Name: "Byzantine resilience under corruption and forgery",
+			Claim: "honest servable clients stay certified-served; quarantine buys back clients the lure attack strands", Run: ByzantineResilience},
 	}
 }
 

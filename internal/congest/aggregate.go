@@ -40,7 +40,13 @@ const floodValue = 'v'
 func (f *floodNode) Round(r int, inbox []Message) bool {
 	for _, msg := range inbox {
 		kind, v, ok := DecodeKindVarint(msg.Payload)
-		if ok && kind == floodValue && v < f.value {
+		if !ok || kind != floodValue {
+			// Fail-closed: a truncated varint or foreign kind byte carries
+			// nothing this protocol can use.
+			f.env.Reject()
+			continue
+		}
+		if v < f.value {
 			f.value = v
 			f.dirty = true
 		}

@@ -151,6 +151,11 @@ type Env struct {
 	// delivered in — receivers must copy bytes they want to keep.
 	arena     []byte
 	prevArena []byte
+	// rejected counts inbox frames this node's protocol logic refused as
+	// malformed (fail-closed decode paths). The engine drains it into
+	// Stats.Rejected during the deterministic merge, so the counter is a
+	// plain int even under the parallel runner.
+	rejected int64
 }
 
 // ID returns the node's id.
@@ -165,6 +170,13 @@ func (e *Env) Degree() int { return e.graph.Degree(e.id) }
 
 // Rand returns the node's private deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Reject records that the node discarded one inbox frame as malformed.
+// Fail-closed protocol decoders call it on every frame they refuse
+// (truncated varints, unknown kinds, out-of-range fields), which keeps
+// corrupted traffic visible in Stats.Rejected without polluting the
+// protocol-level message counters.
+func (e *Env) Reject() { e.rejected++ }
 
 // Send stages one message to neighbour 'to' for delivery next round. It
 // enforces the CONGEST constraints: the recipient must be a neighbour, at

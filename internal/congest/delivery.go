@@ -35,17 +35,36 @@ func (r Reliable) enabled() bool { return r.RetryBudget > 0 }
 //
 // Per merge round the order of operations — and therefore the order of
 // fault-stream draws — is fixed: (1) acknowledgements due this round, (2)
-// the staged messages in ascending sender-id order, (3) delayed messages
-// coming out of flight, (4) shim retransmissions due this round.
+// the staged messages in ascending sender-id order (byzantine rewrite,
+// schedule block, drop, delay, corruption, duplication), (3) byzantine
+// injections on silent links in ascending sender-id and adjacency order,
+// (4) delayed messages coming out of flight, (5) shim retransmissions due
+// this round.
 type delivery struct {
-	faults  *Faults
-	sched   *faultSchedule
-	rng     *rand.Rand // nil when no probabilistic fault is configured
-	halted  []bool
-	crashed []bool
-	inboxes [][]Message
-	stats   *Stats
-	observe bool
+	faults   *Faults
+	sched    *faultSchedule
+	rng      *rand.Rand // nil when no probabilistic fault is configured
+	graph    *Graph
+	bitLimit int
+	halted   []bool
+	crashed  []bool
+	inboxes  [][]Message
+	stats    *Stats
+	observe  bool
+	// byzFrom[id] is the round from which node id is byzantine, -1 when it
+	// never is; nil when no byzantine schedule is configured.
+	byzFrom []int
+	// byzSent tracks, per directed link, the merge round (stored as
+	// round+1 so the map's zero value never collides with round 0) in which
+	// a byzantine sender last staged a real message, so the injection pass
+	// only forges on links the node left silent.
+	byzSent map[uint64]int
+	// checkFrames arms the reliable shim's link-layer framing check
+	// (ValidatePayload on every arrival). It is armed only under corruption
+	// or byzantine schedules: protocols outside the payload registry (tests,
+	// user protocols) may legitimately ship unregistered frames, and absent
+	// an adversary every frame is trusted, exactly as before.
+	checkFrames bool
 	// delivered is the observer's per-round view (reused across rounds).
 	delivered []Message
 	// delayed holds messages and frames in flight past their send round.
@@ -62,16 +81,31 @@ type delayedMsg struct {
 	f   *frame // non-nil when the unit is a shim frame
 }
 
-func newDelivery(faults *Faults, n int, rel Reliable, rng *rand.Rand, halted, crashed []bool, inboxes [][]Message, stats *Stats, observe bool) *delivery {
+func newDelivery(faults *Faults, g *Graph, bitLimit int, rel Reliable, rng *rand.Rand, halted, crashed []bool, inboxes [][]Message, stats *Stats, observe bool) *delivery {
+	n := g.N()
 	d := &delivery{
-		faults:  faults,
-		sched:   faults.compile(n),
-		rng:     rng,
-		halted:  halted,
-		crashed: crashed,
-		inboxes: inboxes,
-		stats:   stats,
-		observe: observe,
+		faults:      faults,
+		sched:       faults.compile(n),
+		rng:         rng,
+		graph:       g,
+		bitLimit:    bitLimit,
+		halted:      halted,
+		crashed:     crashed,
+		inboxes:     inboxes,
+		stats:       stats,
+		observe:     observe,
+		checkFrames: faults.CorruptProb > 0 || len(faults.ByzantineFromRound) > 0,
+	}
+	if len(faults.ByzantineFromRound) > 0 {
+		d.byzFrom = make([]int, n)
+		for id := range d.byzFrom {
+			if at, ok := faults.ByzantineFromRound[id]; ok {
+				d.byzFrom[id] = at
+			} else {
+				d.byzFrom[id] = -1
+			}
+		}
+		d.byzSent = make(map[uint64]int)
 	}
 	if rel.enabled() {
 		d.shim = &reliShim{
@@ -97,13 +131,83 @@ func (d *delivery) beginRound(round int) {
 // transmit runs one staged protocol message through the fault pipeline (or
 // hands it to the shim). Called in ascending sender-id order; the payload
 // still lives in the sender's round arena, so anything that outlives this
-// round is copied.
+// round is copied. A byzantine sender's payload is adversarially rewritten
+// first — independently per recipient, so a broadcast equivocates by
+// construction — and the rewrite is what the shim sequences and retransmits.
 func (d *delivery) transmit(round int, msg Message) {
+	if d.byzantineAt(msg.From, round) {
+		d.byzSent[linkKey(msg.From, msg.To, d.graph.N())] = round + 1
+		p := d.forge(round, msg.From, msg.To, msg.Payload)
+		if p == nil {
+			return // the adversary chose silence on this link
+		}
+		d.stats.Forged++
+		msg.Payload = p
+	}
 	if d.shim != nil {
 		d.shim.sendData(d, round, msg)
 		return
 	}
 	d.plainTransmit(round, msg)
+}
+
+// byzantineAt reports whether node id's network interface is compromised at
+// the given round.
+func (d *delivery) byzantineAt(id, round int) bool {
+	return d.byzFrom != nil && d.byzFrom[id] >= 0 && round >= d.byzFrom[id]
+}
+
+// forge produces the wire payload for one byzantine transmission (orig ==
+// nil for an injection on a silent link): the protocol-aware Forger when one
+// is installed, generic mangling otherwise. Oversized forgeries are clipped
+// to the engine's bit limit so an adversary cannot exceed the CONGEST
+// message budget.
+func (d *delivery) forge(round, from, to int, orig []byte) []byte {
+	var p []byte
+	if d.faults.Forger != nil {
+		p = d.faults.Forger(d.rng, round, from, to, orig)
+	} else {
+		p = forgePayload(d.rng, orig)
+	}
+	if p != nil && d.bitLimit > 0 && len(p)*8 > d.bitLimit {
+		p = p[:d.bitLimit/8]
+	}
+	return p
+}
+
+// injectForged runs the byzantine injection pass for one merge round: every
+// byzantine node, in ascending id order, forges a frame on each neighbour
+// link (adjacency order) it left silent this round. A halted or crashed
+// byzantine node is dead hardware and injects nothing. Injections bypass the
+// shim's sequencing — the adversary writes raw frames on the wire — but not
+// the receiver's link-layer framing check.
+func (d *delivery) injectForged(round int) {
+	if d.byzFrom == nil {
+		return
+	}
+	n := d.graph.N()
+	for id := 0; id < n; id++ {
+		if !d.byzantineAt(id, round) || d.halted[id] {
+			continue
+		}
+		for _, to := range d.graph.Neighbors(id) {
+			if d.byzSent[linkKey(id, to, n)] == round+1 {
+				continue
+			}
+			p := d.forge(round, id, to, nil)
+			if p == nil {
+				continue
+			}
+			d.stats.Forged++
+			if d.shim != nil && d.checkFrames {
+				if _, err := ValidatePayload(p); err != nil {
+					d.stats.Rejected++
+					continue
+				}
+			}
+			d.commit(Message{From: id, To: to, Payload: p}, true)
+		}
+	}
 }
 
 func (d *delivery) plainTransmit(round int, msg Message) {
@@ -116,6 +220,14 @@ func (d *delivery) plainTransmit(round int, msg Message) {
 		owned := Message{From: msg.From, To: msg.To, Payload: append([]byte(nil), msg.Payload...)}
 		d.delayed = append(d.delayed, delayedMsg{at: round + k, msg: owned})
 		return
+	}
+	if d.faults.shouldCorrupt(d.rng, round) {
+		// The mangled bytes replace the staged payload for every copy of
+		// this wire transmission (a duplicate repeats the same corrupted
+		// frame); fail-closed protocol decoders are the defence. Delayed
+		// messages are never corrupted, mirroring duplication.
+		d.stats.Corrupted++
+		msg.Payload = corruptPayload(d.rng, msg.Payload)
 	}
 	dup := d.rng != nil && d.faults.shouldDup(d.rng)
 	d.commit(msg, false)
@@ -167,7 +279,7 @@ func (d *delivery) finishRound(round int) {
 				continue
 			}
 			if dm.f != nil {
-				d.shim.arrive(d, round, dm.f, true)
+				d.shim.arrive(d, round, dm.f, dm.f.payload, true)
 			} else {
 				d.commit(dm.msg, true)
 			}
@@ -264,7 +376,15 @@ func (s *reliShim) attempt(d *delivery, round int, f *frame, retx bool) {
 		d.delayed = append(d.delayed, delayedMsg{at: round + k, f: f})
 		return
 	}
-	s.arrive(d, round, f, retx)
+	payload := f.payload
+	if d.faults.shouldCorrupt(d.rng, round) {
+		// Corruption mutates this one wire attempt, never the frame itself:
+		// a retransmission resends the intact original. Delayed frames are
+		// never corrupted, mirroring the plain path.
+		d.stats.Corrupted++
+		payload = corruptPayload(d.rng, payload)
+	}
+	s.arrive(d, round, f, payload, retx)
 }
 
 // arrive is one wire arrival at the receiver. A crashed receiver's link
@@ -275,12 +395,22 @@ func (s *reliShim) attempt(d *delivery, round int, f *frame, retx bool) {
 // protocol. Voluntarily halted nodes still acknowledge (their link layer
 // outlives the state machine), which stops pointless retries at completed
 // receivers.
-func (s *reliShim) arrive(d *delivery, round int, f *frame, injected bool) {
+func (s *reliShim) arrive(d *delivery, round int, f *frame, payload []byte, injected bool) {
 	if d.crashed[f.to] {
 		return
 	}
+	if d.checkFrames {
+		if _, err := ValidatePayload(payload); err != nil {
+			// Link-layer framing check: a frame corrupted beyond recognition
+			// is discarded unacknowledged, so a retransmission of the intact
+			// original can still land. Corruption that keeps a valid frame
+			// shape passes — protocol decoders are the last line of defence.
+			d.stats.Rejected++
+			return
+		}
+	}
 	if s.win(linkKey(f.from, f.to, s.n)).accept(f.seq) {
-		d.commit(Message{From: f.from, To: f.to, Payload: f.payload}, injected)
+		d.commit(Message{From: f.from, To: f.to, Payload: payload}, injected)
 	}
 	s.acks = append(s.acks, ackEvent{f: f, tx: round + 1})
 }

@@ -63,6 +63,12 @@ type Stats struct {
 	RetransmitBits int64 // payload bits spent on retransmissions
 	Acks           int64 // acknowledgements transmitted
 	AckBits        int64 // bits spent on acknowledgements
+	// Adversarial traffic, also accounted apart from the protocol's own
+	// Messages/Bits so message counts stay comparable across fault
+	// schedules.
+	Corrupted int64 // wire transmissions mutated by corruption faults
+	Forged    int64 // byzantine rewrites and injections put on the wire
+	Rejected  int64 // frames discarded as malformed, by the shim's link-layer framing check or by fail-closed protocol decoders (Env.Reject)
 }
 
 // Run executes nodes on g until every node has halted, returning model-level
@@ -115,7 +121,7 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			faultRng = rand.New(rand.NewSource(nodeSeed(cfg.Seed, 1<<30)))
 		}
 		crashed = make([]bool, len(nodes))
-		del = newDelivery(&cfg.Faults, len(nodes), cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil)
+		del = newDelivery(&cfg.Faults, g, cfg.BitLimit, cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil)
 	}
 
 	workers := cfg.Workers
@@ -242,8 +248,16 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			// A node that halts this round may have sent final messages;
 			// drain them so they are not re-counted on later rounds.
 			env.out = env.out[:0]
+			// Drain the node's fail-closed reject counter into Stats on the
+			// caller goroutine (the Round call that incremented it finished
+			// at the round barrier, so this is race-free in both runners).
+			if env.rejected != 0 {
+				stats.Rejected += env.rejected
+				env.rejected = 0
+			}
 		}
 		if del != nil {
+			del.injectForged(round)
 			del.finishRound(round)
 			if cfg.Observer != nil {
 				cfg.Observer(round, del.delivered)

@@ -65,6 +65,42 @@ type Faults struct {
 	// Bursts drop every message transmitted during the window, modelling
 	// correlated outages.
 	Bursts []RoundRange
+	// CorruptProb mutates each delivered wire transmission independently
+	// with this probability: a bit flip, a truncation, or a forged kind
+	// byte, drawn deterministically from the fault stream on the caller
+	// goroutine (invariant I5). On the plain path the mangled bytes reach
+	// the receiver — fail-closed protocol decoders must reject them; under
+	// the reliable shim the link layer's framing check (ValidatePayload)
+	// discards frames that no longer parse, unacknowledged, so the
+	// uncorrupted original is retransmitted. Corrupted transmissions are
+	// counted in Stats.Corrupted, never in the protocol Messages/Bits.
+	CorruptProb float64
+	// CorruptUntilRound limits corruption to rounds strictly before this
+	// round; 0 means corruption applies to every round (mirrors
+	// DropUntilRound).
+	CorruptUntilRound int
+	// ByzantineFromRound marks node id as byzantine from the start of the
+	// given round: every message its state machine stages is adversarially
+	// rewritten by the fault layer, and every neighbour link it leaves
+	// silent in a round carries an injected forgery instead. Forged traffic
+	// is counted in Stats.Forged and never in the protocol Messages/Bits.
+	// Rewrites are drawn independently per recipient, so a byzantine
+	// broadcast equivocates by construction. The node's own state machine
+	// keeps running honestly — only its wire output is compromised — which
+	// models an adversary owning the node's network interface; callers that
+	// want the node's final state excluded from results must mask it
+	// themselves (core.Solve does, reporting the ids as Byzantine*).
+	ByzantineFromRound map[int]int
+	// Forger, when non-nil, replaces the generic byzantine mangling with a
+	// protocol-aware attack: it is called for every transmission of a
+	// byzantine node with the staged payload (orig == nil for an injection
+	// on a silent link) and returns the payload to put on the wire, or nil
+	// to stay silent. It must be a pure function of its arguments and the
+	// draws it takes from rng, and must respect the engine's bit limit
+	// (oversized forgeries are truncated). core installs a facility-
+	// location-aware forger here (equivocating offers, bogus grants and
+	// beacons) when a byzantine schedule reaches it through WithByzantine.
+	Forger func(rng *rand.Rand, round, from, to int, orig []byte) []byte
 }
 
 // RoundRange is a half-open window of rounds [FromRound, ToRound).
@@ -104,8 +140,9 @@ type Partition struct {
 // count as active even though they draw no randomness, so that a
 // schedule-only configuration is actually applied.
 func (f *Faults) active() bool {
-	return f.DropProb > 0 || f.DupProb > 0 || f.DelayProb > 0 ||
+	return f.DropProb > 0 || f.DupProb > 0 || f.DelayProb > 0 || f.CorruptProb > 0 ||
 		len(f.CrashAtRound) > 0 || len(f.RecoverAtRound) > 0 ||
+		len(f.ByzantineFromRound) > 0 ||
 		len(f.LinkDowns) > 0 || len(f.Partitions) > 0 || len(f.Bursts) > 0
 }
 
@@ -119,7 +156,7 @@ func (f *Faults) validate(n int, nodes []Node) error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"DropProb", f.DropProb}, {"DupProb", f.DupProb}, {"DelayProb", f.DelayProb}} {
+	}{{"DropProb", f.DropProb}, {"DupProb", f.DupProb}, {"DelayProb", f.DelayProb}, {"CorruptProb", f.CorruptProb}} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("congest: %s %v outside [0,1]", p.name, p.v)
 		}
@@ -129,6 +166,9 @@ func (f *Faults) validate(n int, nodes []Node) error {
 	}
 	if f.DelayUntilRound < 0 {
 		return fmt.Errorf("congest: DelayUntilRound %d is negative", f.DelayUntilRound)
+	}
+	if f.CorruptUntilRound < 0 {
+		return fmt.Errorf("congest: CorruptUntilRound %d is negative", f.CorruptUntilRound)
 	}
 	if f.MaxDelay < 0 {
 		return fmt.Errorf("congest: MaxDelay %d is negative", f.MaxDelay)
@@ -141,6 +181,14 @@ func (f *Faults) validate(n int, nodes []Node) error {
 	}
 	if id, ok := minOutOfRangeKey(f.RecoverAtRound, n); ok {
 		return fmt.Errorf("congest: RecoverAtRound names node %d outside [0,%d)", id, n)
+	}
+	if id, ok := minOutOfRangeKey(f.ByzantineFromRound, n); ok {
+		return fmt.Errorf("congest: ByzantineFromRound names node %d outside [0,%d)", id, n)
+	}
+	for id := 0; id < n; id++ {
+		if at, ok := f.ByzantineFromRound[id]; ok && at < 0 {
+			return fmt.Errorf("congest: ByzantineFromRound[%d] = %d is negative", id, at)
+		}
 	}
 	for id := 0; id < n; id++ {
 		if at, ok := f.CrashAtRound[id]; ok && at < 0 {
@@ -232,6 +280,56 @@ func (f *Faults) delayRounds(rng *rand.Rand, round int) int {
 // shouldDup decides whether a delivered message is duplicated on the wire.
 func (f *Faults) shouldDup(rng *rand.Rand) bool {
 	return f.DupProb > 0 && rng.Float64() < f.DupProb
+}
+
+// shouldCorrupt decides whether one wire transmission is mutated in flight.
+func (f *Faults) shouldCorrupt(rng *rand.Rand, round int) bool {
+	if f.CorruptProb <= 0 {
+		return false
+	}
+	if f.CorruptUntilRound > 0 && round >= f.CorruptUntilRound {
+		return false
+	}
+	return rng.Float64() < f.CorruptProb
+}
+
+// corruptPayload returns a freshly owned mutation of p: a single flipped
+// bit, a truncation to a strict prefix, or a forged kind byte, chosen
+// uniformly from the fault stream. The input is never modified — staged
+// payloads live in sender round arenas shared by every recipient (and, under
+// the shim, in frames that may be retransmitted intact), so mutating in
+// place would corrupt more transmissions than the draw decided. An empty
+// payload gains one junk byte so the corruption is observable at all.
+func corruptPayload(rng *rand.Rand, p []byte) []byte {
+	out := append([]byte(nil), p...)
+	if len(out) == 0 {
+		return []byte{byte(rng.Intn(256))}
+	}
+	switch rng.Intn(3) {
+	case 0: // flip one bit anywhere in the payload
+		i := rng.Intn(len(out) * 8)
+		out[i/8] ^= 1 << (i % 8)
+	case 1: // truncate to a strict prefix (possibly empty)
+		out = out[:rng.Intn(len(out))]
+	default: // forge the kind byte
+		out[0] = byte(rng.Intn(256))
+	}
+	return out
+}
+
+// forgePayload is the generic byzantine mangling used when Faults.Forger is
+// nil: rewrites are corruptPayload mutations of the staged original,
+// injections on silent links (orig == nil) are short random frames. Both
+// return freshly owned bytes.
+func forgePayload(rng *rand.Rand, orig []byte) []byte {
+	if orig == nil {
+		out := make([]byte, 1+rng.Intn(4))
+		for i := range out {
+			out[i] = byte(rng.Intn(256))
+		}
+		return out
+	}
+	return corruptPayload(rng, orig)
 }
 
 // faultSchedule is the compiled deterministic half of Faults: burst

@@ -91,14 +91,21 @@ func (l *lubyNode) Round(r int, inbox []Message) bool {
 	// Ingest.
 	for _, msg := range inbox {
 		if len(msg.Payload) < 1 {
+			l.env.Reject()
 			continue
 		}
 		switch msg.Payload[0] {
 		case lubyDraw:
 			if _, v, ok := DecodeKindUvarint(msg.Payload); ok {
 				l.draws[msg.From] = v
+			} else {
+				l.env.Reject()
 			}
 		case lubyWinner:
+			if len(msg.Payload) != 1 {
+				l.env.Reject() // winner frames are exactly one kind byte
+				continue
+			}
 			// A neighbour joined the MIS: I retire as a non-member.
 			if !l.decided {
 				l.decided = true
@@ -106,7 +113,13 @@ func (l *lubyNode) Round(r int, inbox []Message) bool {
 			}
 			delete(l.live, msg.From)
 		case lubyRetire:
+			if len(msg.Payload) != 1 {
+				l.env.Reject() // retire frames are exactly one kind byte
+				continue
+			}
 			delete(l.live, msg.From)
+		default:
+			l.env.Reject()
 		}
 	}
 

@@ -94,11 +94,19 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 	// overlap at their boundaries without confusion.
 	for _, msg := range inbox {
 		kind, v, ok := DecodeKindVarint(msg.Payload)
-		if !ok && kind != stLevel && kind != stAdopt {
+		if !ok {
+			// Fail-closed: honest senders always encode a full kind+varint
+			// frame, so a short or truncated payload is wire damage — even
+			// for the kinds whose value is ignored.
+			s.env.Reject()
 			continue
 		}
 		switch kind {
 		case stLeader:
+			if v < 0 {
+				s.env.Reject() // node ids are non-negative; a negative leader is forged
+				continue
+			}
 			if int(v) < s.leader {
 				s.leader = int(v)
 				s.leaderDirty = true
@@ -118,6 +126,8 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 				s.haveTotal = true
 				s.total = v
 			}
+		default:
+			s.env.Reject()
 		}
 	}
 

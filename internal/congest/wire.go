@@ -55,6 +55,28 @@ func PayloadMaxBits(kind byte) (int, bool) {
 	return s.MaxBits, ok
 }
 
+// ValidatePayload is the engine's fail-closed wire check: a payload is
+// structurally valid only if it is non-empty, its kind byte is registered,
+// and its encoded size respects the kind's registered bound. It never
+// panics on arbitrary bytes. The reliable-delivery shim applies it as a
+// link-layer framing check (an invalid frame is discarded unacknowledged,
+// so a retransmission of the uncorrupted original can still land); protocol
+// decoders remain the last line of defence for content-level corruption
+// that happens to keep a valid frame shape.
+func ValidatePayload(p []byte) (PayloadSpec, error) {
+	if len(p) == 0 {
+		return PayloadSpec{}, fmt.Errorf("congest: empty payload")
+	}
+	spec, ok := payloadRegistry[p[0]]
+	if !ok {
+		return PayloadSpec{}, fmt.Errorf("congest: payload kind %#x is not registered", p[0])
+	}
+	if len(p)*8 > spec.MaxBits {
+		return PayloadSpec{}, fmt.Errorf("congest: %s payload of %d bits exceeds registered bound %d", spec.Name, len(p)*8, spec.MaxBits)
+	}
+	return spec, nil
+}
+
 // MaxKindVarintBits bounds the generic kind+varint encoders below: one
 // kind byte plus one 64-bit (u)varint of at most 10 bytes.
 const MaxKindVarintBits = 88

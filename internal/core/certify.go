@@ -16,12 +16,17 @@ import (
 // than as a silently wrong cost.
 //
 // The fault exemptions come from rep: clients listed in DeadClients
-// (crashed, never finished) or UnservableClients (finished, but every
-// reachable facility was dead) are required to be unassigned rather than
-// assigned; facilities listed in DeadFacilities are required to be closed.
-// Every other client must be assigned along a real edge to an open
-// facility. A nil rep certifies with no exemptions, which makes Certify a
-// strict superset of fl.Validate.
+// (crashed, never finished), UnservableClients (finished, but every
+// reachable facility was dead), ByzantineClients (compromised, state
+// untrusted) or DeceivedClients (honest, but lured to a byzantine facility)
+// are required to be unassigned rather than assigned; facilities listed in
+// DeadFacilities or ByzantineFacilities are required to be closed. Every
+// other client must be assigned along a real edge to an open facility —
+// under any corruption, crash and byzantine schedule, that is the
+// certified guarantee for honest servable clients. The Quarantined* lists
+// carry no exemption (quarantine already shaped the run); the certifier
+// only validates their ids. A nil rep certifies with no exemptions, which
+// makes Certify a strict superset of fl.Validate.
 func Certify(inst *fl.Instance, sol *fl.Solution, rep *Report) error {
 	if sol == nil {
 		return errors.New("core: certify: nil solution")
@@ -161,8 +166,25 @@ func exemptions(inst *fl.Instance, rep *Report) (exemptClient, deadFacility []bo
 	if exemptClient, err = mark(exemptClient, rep.UnservableClients, "client"); err != nil {
 		return nil, nil, err
 	}
+	if exemptClient, err = mark(exemptClient, rep.ByzantineClients, "client"); err != nil {
+		return nil, nil, err
+	}
+	if exemptClient, err = mark(exemptClient, rep.DeceivedClients, "client"); err != nil {
+		return nil, nil, err
+	}
 	deadFacility = make([]bool, inst.M())
 	if deadFacility, err = mark(deadFacility, rep.DeadFacilities, "facility"); err != nil {
+		return nil, nil, err
+	}
+	if deadFacility, err = mark(deadFacility, rep.ByzantineFacilities, "facility"); err != nil {
+		return nil, nil, err
+	}
+	// The quarantine lists grant no exemption, but a report that names
+	// out-of-range ids is corrupted all the same.
+	if _, err = mark(make([]bool, inst.M()), rep.QuarantinedFacilities, "quarantined facility"); err != nil {
+		return nil, nil, err
+	}
+	if _, err = mark(make([]bool, inst.NC()), rep.QuarantinedClients, "quarantined client"); err != nil {
 		return nil, nil, err
 	}
 	return exemptClient, deadFacility, nil

@@ -100,6 +100,21 @@ type Derived struct {
 // crashed or whose GRANT/CONNECT was lost (see DESIGN.md).
 const cleanupRounds = 7
 
+// Soft-evidence thresholds of the sender-quarantine layer (quarantine.go).
+// Soft anomalies are behaviours an adversary produces systematically but
+// omission faults can also produce occasionally, so condemnation waits for
+// repetition; the thresholds trade how fast a lure attack is shut down
+// against how easily an unlucky honest neighbour is condemned (which costs
+// solution quality, never feasibility — see DESIGN.md §11).
+const (
+	// grantMissThreshold condemns a facility after this many granted offers
+	// it failed to answer with a CONNECT (the lure-offer attack signature).
+	grantMissThreshold = 2
+	// staleGrantThreshold condemns a client after this many grants that
+	// answered no live offer.
+	staleGrantThreshold = 3
+)
+
 // Derive computes the protocol parameters for inst under cfg.
 func Derive(inst *fl.Instance, cfg Config) (Derived, error) {
 	if err := cfg.validate(); err != nil {

@@ -63,6 +63,10 @@ type facilityNode struct {
 	granted    []int  // scratch: client node ids granted this iteration
 	buf        []byte
 
+	// sentry is the sender-quarantine layer (see quarantine.go); nil unless
+	// the run's fault schedule includes corruption or byzantine nodes.
+	sentry *sentry
+
 	// openedInCleanup reports whether the facility opened only during
 	// cleanup, openedInRepair only during the repair pass (used by the
 	// report).
@@ -138,9 +142,14 @@ func (f *facilityNode) Recover() {
 	f.offerClass = 0
 	f.granted = f.granted[:0]
 	f.openedInCleanup, f.openedInRepair, f.done = false, false, false
+	// The sentry survives the restart like the engine's link-layer state:
+	// quarantine models the node's network stack, not protocol state.
 }
 
 func (f *facilityNode) Round(r int, inbox []congest.Message) bool {
+	if f.sentry != nil {
+		inbox = f.screenFacility(inbox)
+	}
 	if r >= f.d.ProtoRounds {
 		return f.cleanupRound(r, inbox)
 	}
@@ -271,13 +280,25 @@ func (f *facilityNode) openingCharge(extra int) int64 {
 func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
 	granted := f.granted[:0]
 	var sum int64
+	lastGrant := -1
 	for _, msg := range inbox {
 		if len(msg.Payload) != 1 || msg.Payload[0] != kindGrant {
 			continue
 		}
+		// Wire duplicates arrive adjacent (inboxes are sorted by sender), so
+		// a repeated sender marks a duplication artifact, not new evidence.
+		dup := msg.From == lastGrant
+		lastGrant = msg.From
 		pos, ok := f.posOf[msg.From]
 		if !ok || !f.offeredAt[pos] {
-			continue // stale, duplicated, or malicious grant
+			// Stale, duplicated, or forged grant. A grant that answers no
+			// live offer is soft evidence against the sender: honest clients
+			// only grant what was offered, but drop/delay faults can strand
+			// an honest grant too, so condemnation takes a threshold.
+			if f.sentry != nil && !dup {
+				f.sentry.suspect(msg.From, 1, staleGrantThreshold)
+			}
+			continue
 		}
 		// Consuming the offer slot makes a duplicated GRANT (wire-level
 		// duplication fault) indistinguishable from a stale one.
@@ -417,6 +438,10 @@ type clientNode struct {
 	// never gets there was crashed by a fault schedule and its assignment
 	// must not reach the solution.
 	done bool
+
+	// sentry is the sender-quarantine layer (see quarantine.go); nil unless
+	// the run's fault schedule includes corruption or byzantine nodes.
+	sentry *sentry
 }
 
 var (
@@ -447,19 +472,21 @@ func (c *clientNode) Recover() {
 	c.repairConnected = false
 	c.repairForced = false
 	c.done = false
+	// The sentry survives the restart like the engine's link-layer state:
+	// quarantine models the node's network stack, not protocol state.
 }
 
 func (c *clientNode) Round(r int, inbox []congest.Message) bool {
+	if c.sentry != nil {
+		inbox = c.screenClient(r, inbox)
+	}
 	switch {
 	case r == c.d.ProtoRounds:
 		// Last chance to absorb a CONNECT from the final iteration, then
 		// fall back to the cheapest facility.
 		c.processConnect(inbox, false)
 		if c.assigned == fl.Unassigned {
-			e, ok := c.inst.CheapestEdge(c.idx)
-			if ok {
-				c.env.Send(e.To, payloadForce)
-			}
+			c.sendForce()
 		}
 		return false
 	case r == c.d.ProtoRounds+1:
@@ -512,7 +539,34 @@ func (c *clientNode) processConnect(inbox []congest.Message, cleanup bool) {
 		c.assigned = msg.From // facility node id == facility index
 		c.cleanupConnected = cleanup
 	}
+	if c.sentry != nil && !cleanup && c.granted != -1 && c.assigned == fl.Unassigned {
+		// The granted facility never connected us. A lure-offer attack —
+		// a byzantine facility winning grants it has no intention of
+		// serving — looks exactly like this, but so does an honest facility
+		// whose star shrank below its opening budget or whose CONNECT was
+		// dropped, so condemnation takes repeated misses.
+		c.sentry.suspect(c.granted, 1, grantMissThreshold)
+	}
 	c.granted = -1
+}
+
+// sendForce asks the cheapest facility the client still trusts to open for
+// it (the cleanup fallback). Without a sentry that is simply the cheapest
+// edge; with one, quarantined facilities are passed over — forcing a
+// condemned facility would hand the adversary the client's last resort.
+func (c *clientNode) sendForce() {
+	if c.sentry == nil {
+		if e, ok := c.inst.CheapestEdge(c.idx); ok {
+			c.env.Send(e.To, payloadForce)
+		}
+		return
+	}
+	for _, e := range c.inst.ClientEdges(c.idx) {
+		if !c.sentry.isQuarantined(e.To) { // facility index == node id
+			c.env.Send(e.To, payloadForce)
+			return
+		}
+	}
 }
 
 func (c *clientNode) announceDone() {

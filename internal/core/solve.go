@@ -40,6 +40,30 @@ type Report struct {
 	// every reachable facility dead; they end unassigned and the certifier
 	// exempts them from the feasibility check.
 	UnservableClients []int
+	// ByzantineFacilities and ByzantineClients list the nodes the fault
+	// schedule marked byzantine (ids from congest.Faults.ByzantineFromRound,
+	// split by role). Whatever state a byzantine node holds is adversarial
+	// and is masked out of the returned solution — facilities forced closed,
+	// clients forced unassigned — and the certifier treats the ids as
+	// exemptions, like dead nodes. The lists are disjoint from Dead*.
+	ByzantineFacilities []int
+	ByzantineClients    []int
+	// DeceivedClients lists honest clients whose final assignment pointed
+	// at a byzantine facility (a forged CONNECT or an equivocating repair
+	// beacon lured them). Without authenticated channels that deception is
+	// not locally detectable, so the solver masks them unassigned and the
+	// certifier exempts them — the byzantine analogue of the paper-line
+	// outlier exemption.
+	DeceivedClients []int
+	// QuarantinedFacilities and QuarantinedClients list nodes condemned by
+	// at least one honest peer's sender-quarantine layer (see
+	// quarantine.go). Informational: quarantine already shaped the run (a
+	// condemned node's traffic was dropped and the repair tail avoided it);
+	// the certifier validates the ids but derives no exemption from them —
+	// an honest client stranded by quarantining every reachable facility
+	// surfaces in UnservableClients.
+	QuarantinedFacilities []int
+	QuarantinedClients    []int
 }
 
 // options collects run-level knobs; see the With* functions.
@@ -50,6 +74,9 @@ type options struct {
 	bitLimit    int // <0: engine default from network size; 0: unlimited
 	observer    func(round int, delivered []congest.Message)
 	dropProb    float64
+	corruptProb float64
+	byzantine   map[int]int // node id -> byzantine-from round
+	quarantine  *bool       // nil: auto (armed when corruption/byzantine present)
 	faults      congest.Faults
 	retryBudget int // reliable-delivery shim budget; 0 = shim off
 }
@@ -110,6 +137,48 @@ func WithReliableDelivery(retryBudget int) Option {
 	return func(o *options) { o.retryBudget = retryBudget }
 }
 
+// WithCorruption mutates each delivered protocol message independently with
+// probability p — a bit flip, a truncation, or a forged kind byte (see
+// congest.Faults.CorruptProb). Like WithLossyNetwork, the corruption window
+// is clamped to the phase sweep unless the schedule sets
+// CorruptUntilRound explicitly, so the cleanup-and-repair tail stays a
+// reliable commitment barrier. Corruption arms the sender-quarantine layer
+// and fail-closed decoding; rejected frames are counted in the report's
+// Net.Rejected.
+func WithCorruption(p float64) Option {
+	return func(o *options) { o.corruptProb = p }
+}
+
+// WithByzantine marks the given node ids byzantine from the start of the
+// given round: every message they put on the wire is adversarially forged —
+// equivocating offers and beacons, bogus grants and connects — per the
+// facility-location-aware forger this option installs (an explicit
+// congest.Faults.Forger passed via WithFaults wins). Node ids follow the
+// communication graph: facility i is node i, client j is node m+j. The
+// byzantine nodes' own results are masked out of the solution and reported
+// in Byzantine*; honest clients they deceived are masked and reported in
+// DeceivedClients; Certify validates both as exemptions.
+func WithByzantine(fromRound int, nodeIDs ...int) Option {
+	return func(o *options) {
+		if o.byzantine == nil {
+			o.byzantine = make(map[int]int, len(nodeIDs))
+		}
+		for _, id := range nodeIDs {
+			o.byzantine[id] = fromRound
+		}
+	}
+}
+
+// WithQuarantine forces the sender-quarantine layer on or off, overriding
+// the default (armed exactly when the fault schedule includes corruption or
+// byzantine nodes). Forcing it off under a byzantine schedule measures the
+// undefended protocol; forcing it on elsewhere subjects honest runs to the
+// layer's soft-evidence rules (e.g. repeated unanswered grants), which can
+// trade solution quality for suspicion even without an adversary.
+func WithQuarantine(on bool) Option {
+	return func(o *options) { o.quarantine = &on }
+}
+
 // Solve runs the distributed facility-location protocol on inst at the
 // trade-off point selected by cfg and returns the (always feasible)
 // solution together with a run report. For the soft-capacitated variant
@@ -123,7 +192,14 @@ func Solve(inst *fl.Instance, cfg Config, opts ...Option) (*fl.Solution, *Report
 		return nil, nil, err
 	}
 	sol := fl.NewSolution(inst)
+	byzF, byzC := byzMasks(rep, inst.M(), inst.NC())
 	for i, f := range facilities {
+		if byzF != nil && byzF[i] {
+			// Byzantine: whatever the compromised node claims is masked to
+			// closed; already listed in ByzantineFacilities. Keeps the Dead*
+			// lists disjoint from the Byzantine* lists.
+			continue
+		}
 		if !f.done {
 			// The facility was crashed by the fault schedule and never
 			// completed; whatever it believed is masked out. Clients it
@@ -134,8 +210,18 @@ func Solve(inst *fl.Instance, cfg Config, opts ...Option) (*fl.Solution, *Report
 		sol.Open[i] = f.open
 	}
 	for j, c := range clients {
+		if byzC != nil && byzC[j] {
+			continue // byzantine: masked unassigned, listed in ByzantineClients
+		}
 		if !c.done {
 			rep.DeadClients = append(rep.DeadClients, j)
+			continue
+		}
+		if c.assigned != fl.Unassigned && byzF != nil && byzF[c.assigned] {
+			// An honest client lured to a byzantine facility (forged CONNECT
+			// or equivocating beacon). The facility is masked closed, so the
+			// assignment cannot stand; exempted via DeceivedClients.
+			rep.DeceivedClients = append(rep.DeceivedClients, j)
 			continue
 		}
 		sol.Assign[j] = c.assigned
@@ -164,7 +250,11 @@ func SolveSoftCap(inst *fl.Instance, cfg Config, opts ...Option) (*fl.CapSolutio
 		return nil, nil, err
 	}
 	sol := fl.NewCapSolution(inst)
+	byzF, byzC := byzMasks(rep, inst.M(), inst.NC())
 	for i, f := range facilities {
+		if byzF != nil && byzF[i] {
+			continue // byzantine: masked to zero copies, listed in ByzantineFacilities
+		}
 		if !f.done {
 			rep.DeadFacilities = append(rep.DeadFacilities, i)
 			continue
@@ -172,8 +262,15 @@ func SolveSoftCap(inst *fl.Instance, cfg Config, opts ...Option) (*fl.CapSolutio
 		sol.Copies[i] = f.copies
 	}
 	for j, c := range clients {
+		if byzC != nil && byzC[j] {
+			continue // byzantine: masked unassigned, listed in ByzantineClients
+		}
 		if !c.done {
 			rep.DeadClients = append(rep.DeadClients, j)
+			continue
+		}
+		if c.assigned != fl.Unassigned && byzF != nil && byzF[c.assigned] {
+			rep.DeceivedClients = append(rep.DeceivedClients, j)
 			continue
 		}
 		sol.Assign[j] = c.assigned
@@ -247,6 +344,20 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 		faults.DropProb = o.dropProb
 		faults.DropUntilRound = 0
 	}
+	if o.corruptProb > 0 {
+		faults.CorruptProb = o.corruptProb
+		faults.CorruptUntilRound = 0
+	}
+	if len(o.byzantine) > 0 {
+		merged := make(map[int]int, len(faults.ByzantineFromRound)+len(o.byzantine))
+		for id, at := range faults.ByzantineFromRound {
+			merged[id] = at
+		}
+		for id, at := range o.byzantine {
+			merged[id] = at
+		}
+		faults.ByzantineFromRound = merged
+	}
 	// Probabilistic faults with no explicit window stay out of the
 	// cleanup-and-repair tail: those rounds are the protocol's reliable
 	// commitment barrier.
@@ -255,6 +366,30 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 	}
 	if faults.DelayProb > 0 && faults.DelayUntilRound == 0 {
 		faults.DelayUntilRound = d.ProtoRounds
+	}
+	if faults.CorruptProb > 0 && faults.CorruptUntilRound == 0 {
+		faults.CorruptUntilRound = d.ProtoRounds
+	}
+	// Byzantine nodes stay adversarial through the tail — that is the
+	// attack the quarantine layer and the byzantine masking defend against
+	// — and get the protocol-aware forger unless the caller installed one.
+	if len(faults.ByzantineFromRound) > 0 && faults.Forger == nil {
+		faults.Forger = flForger(m, d)
+	}
+	// The sender-quarantine layer arms itself exactly when the schedule can
+	// put adversarial bytes on the wire; honest and omission-only runs keep
+	// the unguarded hot path (and its byte-identical executions).
+	guard := faults.CorruptProb > 0 || len(faults.ByzantineFromRound) > 0
+	if o.quarantine != nil {
+		guard = *o.quarantine
+	}
+	if guard {
+		for _, f := range facilities {
+			f.sentry = newSentry()
+		}
+		for _, c := range clients {
+			c.sentry = newSentry()
+		}
 	}
 	// A recovery scheduled near (or past) the normal end of the run still
 	// deserves its rejoin-and-halt rounds before the budget trips.
@@ -293,7 +428,67 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 			rep.RepairedClients++
 		}
 	}
+	// Materialize the byzantine schedule into the report (sorted by id) so
+	// Solve's masking pass and the certifier's exemption checks work from the
+	// report alone.
+	if len(faults.ByzantineFromRound) > 0 {
+		for id := 0; id < m+nc; id++ {
+			if _, byz := faults.ByzantineFromRound[id]; !byz {
+				continue
+			}
+			if id < m {
+				rep.ByzantineFacilities = append(rep.ByzantineFacilities, id)
+			} else {
+				rep.ByzantineClients = append(rep.ByzantineClients, id-m)
+			}
+		}
+	}
+	if guard {
+		// Aggregate the per-node quarantine verdicts: facilities condemn
+		// client node ids (>= m), clients condemn facility ids (< m). The
+		// bitmaps dedup; emission by index keeps the lists sorted.
+		qf := make([]bool, m)
+		qc := make([]bool, nc)
+		for _, f := range facilities {
+			for _, id := range f.sentry.ids() {
+				qc[id-m] = true
+			}
+		}
+		for _, c := range clients {
+			for _, id := range c.sentry.ids() {
+				qf[id] = true
+			}
+		}
+		for i, q := range qf {
+			if q {
+				rep.QuarantinedFacilities = append(rep.QuarantinedFacilities, i)
+			}
+		}
+		for j, q := range qc {
+			if q {
+				rep.QuarantinedClients = append(rep.QuarantinedClients, j)
+			}
+		}
+	}
 	return facilities, clients, rep, nil
+}
+
+// byzMasks expands the report's byzantine id lists into role-indexed bitmaps
+// for the masking passes in Solve and SolveSoftCap; both are nil when the
+// run had no byzantine schedule.
+func byzMasks(rep *Report, m, nc int) (byzF, byzC []bool) {
+	if len(rep.ByzantineFacilities) == 0 && len(rep.ByzantineClients) == 0 {
+		return nil, nil
+	}
+	byzF = make([]bool, m)
+	for _, i := range rep.ByzantineFacilities {
+		byzF[i] = true
+	}
+	byzC = make([]bool, nc)
+	for _, j := range rep.ByzantineClients {
+		byzC[j] = true
+	}
+	return byzF, byzC
 }
 
 // SolveBest runs the protocol `runs` times with consecutive seeds starting
