@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet lint test test-race bench bench-engine results quick-results examples clean
+.PHONY: all build check vet lint test test-race bench bench-engine perf-smoke results quick-results examples clean
 
 all: build check
 
@@ -39,6 +39,15 @@ bench:
 bench-engine:
 	@out=$$(go test -run XXX -bench 'EngineRound|MakeOffer|DistributedSolve' -benchmem ./... 2>&1) || { printf '%s\n' "$$out"; exit 1; }; \
 	printf '%s\n' "$$out" | grep -E 'Benchmark|^ok' || true
+
+# CI allocation gate: quick engine-throughput run that fails if any T10
+# row allocates more than the bound per round. The bound is the quick-mode
+# seed-level figure (~400 allocs/round at n=256, dominated by per-run
+# setup amortized over 12 rounds) plus ~12% headroom; a regression that
+# reintroduces per-message allocation in the merge overshoots it by an
+# order of magnitude.
+perf-smoke:
+	go run ./cmd/flbench -quick -exp E13 -maxallocs 448
 
 # Regenerate every table and figure (full size, ~15s) into results/.
 results:

@@ -10,12 +10,19 @@
 //
 //	flbench [-exp all|E1..E15] [-quick] [-seed N] [-runs N] [-out DIR]
 //	        [-faults SPEC] [-json FILE] [-note STR]
+//	        [-procs N] [-shards LIST] [-maxallocs N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // -faults injects an adversarial fault schedule into the chaos and
 // byzantine experiments (E14, E15), e.g.
 // -faults drop=0.2,crash=3@5,corrupt=0.3,byz=0@8 — see bench.ParseFaultSpec
 // for the full syntax.
+//
+// -procs and -shards steer the engine-throughput experiment (E13): -procs
+// pins GOMAXPROCS for the measurement (default: all cores) and -shards
+// replaces the default shard-count list with a comma-separated one (0 is
+// the sequential runner). -maxallocs turns the run into a CI perf gate: it
+// fails if any T10 row allocates more than N allocations per round.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonPath   = fs.String("json", "", "write all produced tables as one machine-readable JSON report")
 		note       = fs.String("note", "", "free-form annotation recorded in the -json report")
 		faultSpec  = fs.String("faults", "", "fault schedule for the chaos/byzantine experiments, e.g. drop=0.2,crash=3@5,corrupt=0.3,byz=0@8")
+		procs      = fs.Int("procs", 0, "GOMAXPROCS for the engine experiment (0 = all cores)")
+		shardsFlag = fs.String("shards", "", "shard counts for the engine experiment, comma separated (0 = sequential runner)")
+		maxAllocs  = fs.Float64("maxallocs", 0, "fail if any engine-throughput row exceeds this many allocs/round (0 = no gate)")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -120,7 +131,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	params := bench.Params{Quick: *quick, Seed: *seed, Runs: *runs, FaultSpec: *faultSpec}
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		return err
+	}
+	params := bench.Params{
+		Quick: *quick, Seed: *seed, Runs: *runs, FaultSpec: *faultSpec,
+		Procs: *procs, Shards: shards,
+	}
 	report := jsonReport{
 		Schema:     "dfl-bench/1",
 		GoVersion:  runtime.Version(),
@@ -164,6 +182,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	if *maxAllocs > 0 {
+		if err := checkAllocGate(report.Tables, *maxAllocs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "alloc gate passed: every engine row <= %.1f allocs/round\n", *maxAllocs)
+	}
+	return nil
+}
+
+// parseShards turns the -shards list into the Params.Shards slice.
+func parseShards(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -shards entry %q: want a non-negative integer", field)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// checkAllocGate is the CI perf-smoke teeth: scan every produced table for
+// an "allocs/round" column and fail if any row exceeds the bound. With no
+// engine table in the run the gate is a configuration error, not a pass.
+func checkAllocGate(tables []jsonTable, bound float64) error {
+	checked := 0
+	for _, t := range tables {
+		col := -1
+		for i, c := range t.Columns {
+			if c == "allocs/round" {
+				col = i
+			}
+		}
+		if col < 0 {
+			continue
+		}
+		for _, row := range t.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				return fmt.Errorf("%s: unparseable allocs/round cell %q", t.ID, row[col])
+			}
+			checked++
+			if v > bound {
+				return fmt.Errorf("alloc gate: %s row %v has %.1f allocs/round, bound is %.1f",
+					t.ID, row[0], v, bound)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("alloc gate: no allocs/round column in the selected experiments (run E13)")
 	}
 	return nil
 }

@@ -106,8 +106,11 @@ var (
 	WithSeed = core.WithSeed
 	// WithParallel runs the simulator with parallel round execution.
 	WithParallel = core.WithParallel
-	// WithWorkers bounds the parallel worker pool; 0 means GOMAXPROCS.
+	// WithWorkers bounds the parallel worker/shard count; 0 means GOMAXPROCS.
 	WithWorkers = core.WithWorkers
+	// WithShards sets the topology shard count of the parallel runner
+	// (byte-identical executions at every shard count; a pure perf knob).
+	WithShards = core.WithShards
 	// WithBitLimit overrides the CONGEST message-size budget.
 	WithBitLimit = core.WithBitLimit
 	// WithLossyNetwork drops protocol messages with the given probability

@@ -5,16 +5,18 @@ import (
 	"path/filepath"
 )
 
-// Poolonly protects the persistent worker-pool architecture: inside
-// internal/congest, goroutines may only be started by pool.go. A bare `go`
+// Poolonly protects the sharded-runner architecture: inside
+// internal/congest, goroutines may only be started by shard.go (home of
+// the persistent shardPool and its per-shard workers). A bare `go`
 // statement anywhere else reintroduces exactly the per-round spawning (and
 // the attendant scheduling nondeterminism hazards) the pool was built to
-// eliminate; new concurrency must be routed through workerPool so the
-// round barrier and the deterministic merge stay the only
-// synchronization points. There is deliberately no exemption directive.
+// eliminate; new concurrency must be routed through shardPool so the
+// round barrier and the deterministic per-destination-shard merge stay the
+// only synchronization points. There is deliberately no exemption
+// directive.
 var Poolonly = &Analyzer{
 	Name:     "poolonly",
-	Doc:      "forbid bare go statements in internal/congest outside pool.go",
+	Doc:      "forbid bare go statements in internal/congest outside shard.go",
 	Packages: []string{"dfl/internal/congest"},
 	Run:      runPoolonly,
 }
@@ -22,12 +24,12 @@ var Poolonly = &Analyzer{
 func runPoolonly(pass *Pass) {
 	for _, file := range pass.Files {
 		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
-		if name == "pool.go" {
+		if name == "shard.go" {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(), "bare go statement outside pool.go: route concurrency through the persistent workerPool so the round barrier stays the only synchronization point")
+				pass.Reportf(g.Pos(), "bare go statement outside shard.go: route concurrency through the persistent shardPool so the round barrier stays the only synchronization point")
 			}
 			return true
 		})

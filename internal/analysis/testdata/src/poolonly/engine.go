@@ -1,9 +1,9 @@
 package poolonly
 
 func runRound(work func()) {
-	go work() // want `bare go statement outside pool\.go`
+	go work() // want `bare go statement outside shard\.go`
 	done := make(chan struct{})
-	go func() { // want `bare go statement outside pool\.go`
+	go func() { // want `bare go statement outside shard\.go`
 		work()
 		close(done)
 	}()

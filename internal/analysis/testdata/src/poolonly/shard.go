@@ -1,5 +1,5 @@
 // Package poolonly seeds violations for the poolonly analyzer's golden
-// test. This file plays the role of internal/congest/pool.go: the one
+// test. This file plays the role of internal/congest/shard.go: the one
 // sanctioned goroutine spawn site.
 package poolonly
 
@@ -12,7 +12,7 @@ type pool struct {
 func (p *pool) start(n int) {
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
-		go p.worker() // allowed: pool.go owns goroutine creation
+		go p.worker() // allowed: shard.go owns goroutine creation
 	}
 }
 

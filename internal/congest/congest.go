@@ -4,10 +4,12 @@
 //
 // The engine runs an arbitrary set of Node state machines on an undirected
 // communication graph. Two runners are provided — a deterministic
-// sequential one and a persistent-worker-pool parallel one — and both
-// produce byte-identical executions for the same configuration, which the
-// test suite verifies. Message and bit counts, per-message size limits, and
-// halt detection are built in.
+// sequential one and a topology-sharded parallel one (nodes statically
+// partitioned into edge-cut-minimizing shards, one persistent worker per
+// shard, delivery merged per destination shard) — and both produce
+// byte-identical executions for the same configuration and any shard
+// count, which the test suite verifies. Message and bit counts,
+// per-message size limits, and halt detection are built in.
 package congest
 
 import (
@@ -152,9 +154,10 @@ type Env struct {
 	arena     []byte
 	prevArena []byte
 	// rejected counts inbox frames this node's protocol logic refused as
-	// malformed (fail-closed decode paths). The engine drains it into
-	// Stats.Rejected during the deterministic merge, so the counter is a
-	// plain int even under the parallel runner.
+	// malformed (fail-closed decode paths). It is drained into
+	// Stats.Rejected during the deterministic merge — by the caller in the
+	// sequential and fault-delivery paths, by the owning shard's worker in
+	// the sharded merge — so the counter is a plain int under every runner.
 	rejected int64
 }
 

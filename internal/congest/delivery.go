@@ -27,11 +27,12 @@ type Reliable struct {
 func (r Reliable) enabled() bool { return r.RetryBudget > 0 }
 
 // delivery is the fault-aware message path. The plain engine merge is a
-// two-line append; this layer replaces it whenever faults or the reliable
-// shim are configured, running entirely on the caller goroutine during the
-// deterministic merge so the parallel runner stays byte-identical to the
-// sequential one (invariant I5). It shares the engine's halted/crashed/
-// inbox storage.
+// two-line append (sharded across workers in the parallel runner); this
+// layer replaces it whenever faults or the reliable shim are configured,
+// running entirely on the caller goroutine during the deterministic merge
+// — the sharded runner's workers then run only the compute phase — so the
+// parallel runner stays byte-identical to the sequential one (invariant
+// I5). It shares the engine's halted/crashed/inbox storage.
 //
 // Per merge round the order of operations — and therefore the order of
 // fault-stream draws — is fixed: (1) acknowledgements due this round, (2)

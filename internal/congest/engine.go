@@ -17,11 +17,18 @@ type Config struct {
 	Seed int64
 	// MaxRounds aborts runaway protocols. 0 means DefaultMaxRounds.
 	MaxRounds int
-	// Parallel selects the persistent worker-pool runner: Workers
-	// goroutines started once per Run and reused every round.
+	// Parallel selects the sharded runner: nodes are statically
+	// partitioned into topology-aware shards, each owned by one persistent
+	// worker goroutine started once per Run and reused every round.
+	// Execution is byte-identical to the sequential runner for every shard
+	// count (invariant I5).
 	Parallel bool
-	// Workers bounds parallel workers; 0 means GOMAXPROCS.
+	// Workers bounds the parallel shard/worker count; 0 means GOMAXPROCS.
 	Workers int
+	// Shards overrides Workers as the shard/worker count when non-zero.
+	// The two are aliases — every worker owns exactly one shard — and the
+	// split exists so callers can name the intent (`-shards` on flbench).
+	Shards int
 	// Observer, when non-nil, is invoked after every round with the round
 	// number and the messages delivered in that round (sequential runner
 	// order). The slice is reused between rounds and is only valid for the
@@ -124,13 +131,20 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 		del = newDelivery(&cfg.Faults, g, cfg.BitLimit, cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil)
 	}
 
-	workers := cfg.Workers
+	workers := cfg.Shards
+	if workers == 0 {
+		workers = cfg.Workers
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var pool *workerPool
-	if cfg.Parallel && workers > 1 && len(nodes) > 0 {
-		pool = newWorkerPool(nodes, envs, halted, inboxes, workers)
+	// Fault delivery and observers need the merge on the caller goroutine
+	// (fault-stream draws and the observed order are defined in global
+	// sender order); honest unobserved runs take the contention-free
+	// per-destination-shard merge.
+	var pool *shardPool
+	if cfg.Parallel && len(nodes) > 0 {
+		pool = newShardPool(g, nodes, envs, halted, inboxes, workers, del != nil || cfg.Observer != nil)
 		defer pool.stop()
 	}
 
@@ -194,7 +208,17 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 		}
 
 		if pool != nil {
-			pool.runRound(round)
+			if pool.runRound(round) {
+				// The round was merged shard-locally: delivery, inbox
+				// resets, and per-message accounting all happened inside
+				// the workers; only the shard counters remain to fold.
+				pool.collect(&stats)
+				continue
+			}
+			// serialMerge mode, or a send violation was detected: fall
+			// through to the caller-side merge below, which reproduces the
+			// sequential runner byte-for-byte (including the abort path's
+			// partial accounting — env.out was left intact).
 		} else {
 			for id, n := range nodes {
 				if halted[id] {

@@ -7,7 +7,7 @@ import (
 )
 
 // stressGraph is a 24-node graph with an irregular degree distribution so
-// that work per node is uneven and chunk claiming actually rebalances.
+// that work per shard is uneven and the partitioner has real cut choices.
 func stressGraph(t *testing.T) *Graph {
 	t.Helper()
 	g := NewGraph(24)
@@ -37,7 +37,7 @@ func runStress(t *testing.T, parallel bool, workers int) (Stats, [][]string) {
 	recs := make([]*recNode, n)
 	for i := range nodes {
 		// Staggered halts cluster the live nodes at the high ids late in
-		// the run — the imbalance the chunk-claiming pool must absorb.
+		// the run — an imbalance the static shards must stay correct under.
 		recs[i] = &recNode{stopAt: 3 + i/2}
 		nodes[i] = recs[i]
 	}

@@ -1,0 +1,392 @@
+package congest
+
+import (
+	"sort"
+	"sync"
+)
+
+// shardPool executes protocol rounds on a fixed set of long-lived worker
+// goroutines, one per topology shard. It replaces the flat chunk-claiming
+// pool of the original parallel runner: instead of workers racing an atomic
+// cursor over the whole node range and a caller-side global merge, nodes
+// are statically partitioned into topology-aware shards (see
+// partitionShards) and each worker owns everything its shard touches —
+// the member nodes it runs, the per-destination-shard outboxes it stages
+// into, the inboxes it ingests, and its own Stats counters. Delivery is
+// therefore contention-free: no two workers ever write the same inbox,
+// counter, or env, and the only synchronization in a round is one internal
+// barrier between the staging and ingest phases (plus the start/join
+// handshake with the caller).
+//
+// Determinism (invariant I5): a worker walks its members in ascending node
+// id, so each outbox stream is sorted by sender id; sender sets are
+// disjoint across shards, so the ingest phase's streams-by-ascending-
+// sender merge reproduces exactly the delivery order of the sequential
+// runner — every inbox comes out sorted by sender id with at most one
+// message per sender, byte-identical for every shard count. Stats are
+// sums and maxes of per-message quantities, so folding shard-local
+// counters at round end is order-independent.
+//
+// Fault schedules, the reliable shim, and observers need the fault-stream
+// draws (and the observer's view) to happen in global sender order, so
+// those runs keep the caller-side sequential merge: workers run only the
+// compute phase and the engine's merge loop does the rest, exactly as the
+// sequential runner would. Honest runs take the sharded merge.
+type shardPool struct {
+	nodes   []Node
+	envs    []*Env
+	halted  []bool
+	inboxes [][]Message
+
+	// serialMerge marks runs whose merge must stay on the caller goroutine
+	// (fault delivery or an observer is installed); workers then only run
+	// the compute phase.
+	serialMerge bool
+
+	shardOf []int // node id -> owning shard
+	shards  []*shardState
+
+	round int
+	start chan struct{}
+	mid   sync.WaitGroup // the one in-round barrier: staging -> ingest
+	wg    sync.WaitGroup // joins the workers of one round
+}
+
+// shardState is the worker-private half of one shard. Workers only ever
+// write their own shardState; cross-shard reads (outbox streams, errID)
+// happen strictly after the mid barrier that published them.
+type shardState struct {
+	members []int // node ids owned by this shard, ascending
+	// outbox[dst] holds this round's staged messages whose recipient lives
+	// in shard dst, in ascending sender-id order (members are walked
+	// ascending and each env stages its sends in order).
+	outbox [][]Message
+	// heads[src] is this shard's ingest cursor into shards[src].outbox[self].
+	heads []int
+	// stats accumulates this shard's share of the round's accounting;
+	// collect folds it into the run's Stats and resets it.
+	stats Stats
+	// errID is the lowest member node id whose env recorded a send
+	// violation this round, -1 when none: the caller falls back to the
+	// sequential merge so the abort (partial accounting included) is
+	// byte-identical to the sequential runner's.
+	errID int
+}
+
+// newShardPool partitions the graph and starts one worker per shard. The
+// shared slices are the engine's own; the pool never reallocates them.
+func newShardPool(g *Graph, nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, shards int, serialMerge bool) *shardPool {
+	parts := partitionShards(g, shards)
+	k := len(parts)
+	p := &shardPool{
+		nodes:       nodes,
+		envs:        envs,
+		halted:      halted,
+		inboxes:     inboxes,
+		serialMerge: serialMerge,
+		shardOf:     make([]int, len(nodes)),
+		shards:      make([]*shardState, k),
+		start:       make(chan struct{}),
+	}
+	for s, members := range parts {
+		p.shards[s] = &shardState{
+			members: members,
+			outbox:  make([][]Message, k),
+			heads:   make([]int, k),
+			errID:   -1,
+		}
+		for _, id := range members {
+			p.shardOf[id] = s
+		}
+	}
+	for w := 0; w < k; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// runRound executes one round across the shards and blocks until it is
+// complete. It returns true when the round was fully merged shard-locally
+// (the caller only folds counters via collect); false when the caller must
+// run the sequential merge itself — every round of a serialMerge pool, or
+// a round in which some node committed a send violation (env.out is left
+// intact for the sequential walk, which reproduces the sequential runner's
+// abort exactly).
+func (p *shardPool) runRound(round int) bool {
+	p.round = round
+	k := len(p.shards)
+	p.mid.Add(k)
+	p.wg.Add(k)
+	for i := 0; i < k; i++ {
+		p.start <- struct{}{}
+	}
+	p.wg.Wait()
+	if p.serialMerge {
+		return false
+	}
+	for _, s := range p.shards {
+		if s.errID >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// collect folds the shard-local counters of one shard-merged round into
+// the run's Stats. Sums and maxes commute, so the fold order cannot leak
+// into the result.
+func (p *shardPool) collect(st *Stats) {
+	for _, s := range p.shards {
+		st.Messages += s.stats.Messages
+		st.Bits += s.stats.Bits
+		if s.stats.MaxMessageBits > st.MaxMessageBits {
+			st.MaxMessageBits = s.stats.MaxMessageBits
+		}
+		st.Rejected += s.stats.Rejected
+		s.stats = Stats{}
+	}
+}
+
+// stop terminates the worker goroutines. The pool must be idle (no round
+// in flight).
+func (p *shardPool) stop() { close(p.start) }
+
+func (p *shardPool) worker(w int) {
+	s := p.shards[w]
+	for range p.start { // one token per round; exits when stop closes the channel
+		// Compute-and-stage phase: run this shard's nodes, then bucket
+		// their staged messages by destination shard.
+		for _, id := range s.members {
+			if p.halted[id] {
+				continue
+			}
+			p.envs[id].beginRound()
+			p.halted[id] = p.nodes[id].Round(p.round, p.inboxes[id])
+		}
+		if !p.serialMerge {
+			s.errID = -1
+			for d := range s.outbox {
+				s.outbox[d] = s.outbox[d][:0]
+			}
+			for _, id := range s.members {
+				env := p.envs[id]
+				if env.sendErr != nil {
+					// Stop staging and leave every env.out intact: the
+					// caller's sequential merge reproduces the abort, with
+					// the same partial accounting as the sequential runner.
+					s.errID = id
+					break
+				}
+				for _, msg := range env.out {
+					dst := p.shardOf[msg.To]
+					s.outbox[dst] = append(s.outbox[dst], msg)
+				}
+			}
+		}
+		// The round's one barrier: publishes every shard's outbox streams
+		// (and errID) before any shard starts ingesting.
+		p.mid.Done()
+		p.mid.Wait()
+		if !p.serialMerge && !p.anyErr() {
+			p.ingest(s, w)
+		}
+		p.wg.Done()
+	}
+}
+
+func (p *shardPool) anyErr() bool {
+	for _, s := range p.shards {
+		if s.errID >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ingest is the per-destination-shard half of the deterministic merge:
+// shard w drains the w-th outbox stream of every shard, merging by
+// ascending sender id, and delivers into its own members' inboxes. Only
+// shard-owned state is written, so ingest runs with no locks and no
+// false sharing with other workers.
+func (p *shardPool) ingest(s *shardState, w int) {
+	for _, id := range s.members {
+		p.inboxes[id] = p.inboxes[id][:0]
+	}
+	for i := range s.heads {
+		s.heads[i] = 0
+	}
+	// Streams are sender-sorted and sender sets are disjoint across
+	// shards, so picking the smallest head sender each step reproduces the
+	// sequential runner's ascending-sender delivery order exactly; every
+	// inbox comes out born-sorted with no per-inbox sort.
+	for {
+		best := -1
+		bestFrom := 0
+		for src := range p.shards {
+			q := p.shards[src].outbox[w]
+			if h := s.heads[src]; h < len(q) && (best < 0 || q[h].From < bestFrom) {
+				best = src
+				bestFrom = q[h].From
+			}
+		}
+		if best < 0 {
+			break
+		}
+		msg := p.shards[best].outbox[w][s.heads[best]]
+		s.heads[best]++
+		s.stats.Messages++
+		bits := msg.Bits()
+		s.stats.Bits += int64(bits)
+		if bits > s.stats.MaxMessageBits {
+			s.stats.MaxMessageBits = bits
+		}
+		// Messages to halted nodes are delivered to nobody but still
+		// counted, exactly as in the sequential merge.
+		if !p.halted[msg.To] {
+			p.inboxes[msg.To] = append(p.inboxes[msg.To], msg)
+		}
+	}
+	// Drain the shard's own env state: staged sends were consumed above,
+	// and fail-closed reject counts fold into the shard counters.
+	for _, id := range s.members {
+		env := p.envs[id]
+		env.out = env.out[:0]
+		if env.rejected != 0 {
+			s.stats.Rejected += env.rejected
+			env.rejected = 0
+		}
+	}
+}
+
+// partitionShards statically splits the graph's nodes into at most k
+// balanced shards by greedy edge-cut minimization: each shard is seeded at
+// the lowest unassigned node id and grown by repeatedly claiming the
+// unassigned node with the most neighbours already inside the growing
+// shard (ties to the lowest id). Claiming lowest ids first makes the
+// partition hug the graph's labelling, so structured topologies (circulant
+// rings, bipartite blocks, grid-ish instances) come out as near-contiguous
+// id ranges — the contiguous relabeling that keeps each shard's member
+// walk a forward sweep over the engine's id-indexed arrays. The result is
+// a pure function of the adjacency: same graph, same shards, every run.
+func partitionShards(g *Graph, k int) [][]int {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	parts := make([][]int, k)
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	gain := make([]int, n) // neighbours already inside the growing shard
+	var frontier gainHeap
+	var touched []int
+	next := 0 // lowest node id not yet assigned
+	for s := 0; s < k; s++ {
+		target := n / k
+		if s < n%k {
+			target++
+		}
+		frontier = frontier[:0]
+		members := make([]int, 0, target)
+		for len(members) < target {
+			v := -1
+			// Lazy invalidation: entries whose gain is out of date (the
+			// node gained more neighbours since the push, or was claimed)
+			// are discarded; the live maximum is always present because
+			// every gain increment pushes a fresh entry.
+			for len(frontier) > 0 {
+				top := frontier[0]
+				frontier.pop()
+				if assigned[top.id] < 0 && top.gain == gain[top.id] {
+					v = top.id
+					break
+				}
+			}
+			if v < 0 {
+				// Empty frontier (fresh shard or exhausted component):
+				// seed at the lowest unassigned id.
+				for assigned[next] >= 0 {
+					next++
+				}
+				v = next
+			}
+			assigned[v] = s
+			members = append(members, v)
+			for _, u := range g.Neighbors(v) {
+				if assigned[u] < 0 {
+					gain[u]++
+					touched = append(touched, u)
+					frontier.push(gainEntry{gain: gain[u], id: u})
+				}
+			}
+		}
+		sort.Ints(members)
+		parts[s] = members
+		for _, u := range touched {
+			gain[u] = 0
+		}
+		touched = touched[:0]
+	}
+	return parts
+}
+
+// gainEntry orders the partition frontier: highest gain first, lowest id
+// on ties, which makes the greedy growth deterministic.
+type gainEntry struct{ gain, id int }
+
+// gainHeap is a hand-rolled binary max-heap of gainEntry (stdlib
+// container/heap would force an interface box per push on this hot setup
+// path).
+type gainHeap []gainEntry
+
+func (h gainHeap) less(a, b gainEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.id < b.id
+}
+
+func (h *gainHeap) push(e gainEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes the root; the caller has already read it from (*h)[0].
+func (h *gainHeap) pop() {
+	q := *h
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && q.less(q[l], q[m]) {
+			m = l
+		}
+		if r < last && q.less(q[r], q[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+	}
+}

@@ -11,9 +11,10 @@ import (
 // hardening: schedules combining per-message corruption, byzantine
 // facilities and clients, crashes and duplication must all yield a solution
 // that re-certifies through the public API and is byte-identical across the
-// sequential runner and worker pools of 1, 2, and 8 (invariant I5 under an
-// active adversary). Node ids: facility i is node i (m = 12), client j is
-// node 12+j.
+// sequential runner and shard counts of 1, 2, and 8 (invariant I5 under an
+// active adversary; the parallel arm goes through WithShards so the shard
+// spelling of the knob is covered end to end). Node ids: facility i is
+// node i (m = 12), client j is node 12+j.
 func TestByzantineChaosMatrix(t *testing.T) {
 	inst := chaosInstance(t)
 	cfg := Config{K: 16}
@@ -53,7 +54,7 @@ func TestByzantineChaosMatrix(t *testing.T) {
 		t.Run(sc.name, func(t *testing.T) {
 			run := func(parallel bool, workers int) (*fl.Solution, *Report) {
 				opts := []Option{WithSeed(31), WithFaults(sc.f),
-					WithParallel(parallel), WithWorkers(workers)}
+					WithParallel(parallel), WithShards(workers)}
 				opts = append(opts, sc.opts...)
 				if sc.rel > 0 {
 					opts = append(opts, WithReliableDelivery(sc.rel))
