@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	flbench [-exp all|E1..E15] [-quick] [-seed N] [-runs N] [-out DIR]
+//	flbench [-exp all|E1..E16] [-quick] [-seed N] [-runs N] [-out DIR]
 //	        [-faults SPEC] [-json FILE] [-note STR]
 //	        [-procs N] [-shards LIST] [-maxallocs N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
@@ -18,11 +18,11 @@
 // -faults drop=0.2,crash=3@5,corrupt=0.3,byz=0@8 — see bench.ParseFaultSpec
 // for the full syntax.
 //
-// -procs and -shards steer the engine-throughput experiment (E13): -procs
-// pins GOMAXPROCS for the measurement (default: all cores) and -shards
-// replaces the default shard-count list with a comma-separated one (0 is
-// the sequential runner). -maxallocs turns the run into a CI perf gate: it
-// fails if any T10 row allocates more than N allocations per round.
+// -procs and -shards steer the engine experiments (E13, E16): -procs pins
+// GOMAXPROCS for the measurement (default: all cores) and -shards replaces
+// the default shard-count list with a comma-separated one (0 is the
+// sequential runner). -maxallocs turns the run into a CI perf gate: it
+// fails if any produced row allocates more than N allocations per round.
 package main
 
 import (
@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E15) or 'all'")
+		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E16) or 'all'")
 		quick      = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
 		seed       = fs.Int64("seed", 1, "master seed for instances and protocols")
 		runs       = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	flgen -family uniform -m 50 -nc 200 -seed 1 > instance.ufl
+//	flgen -family sparse -m 1000 -nc 1000000 -stream > big.ufl
 //	flgen -list
+//
+// -stream pipes the generator straight to the output in CSR (client-major)
+// order without materializing the instance, so memory stays O(m) no matter
+// how many edges are emitted. Only families implementing gen.Streamer
+// (uniform, sparse) support it.
 package main
 
 import (
@@ -34,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed   = fs.Int64("seed", 1, "generator seed")
 		list   = fs.Bool("list", false, "list families and exit")
 		stats  = fs.Bool("stats", false, "print instance stats to stderr")
+		stream = fs.Bool("stream", false, "stream edges in CSR order with bounded memory (Streamer families only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +55,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	g, err := gen.ByName(*family, *m, *nc)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		s, ok := g.(gen.Streamer)
+		if !ok {
+			return fmt.Errorf("family %q does not support -stream (no bounded-memory generator)", *family)
+		}
+		if *stats {
+			return fmt.Errorf("-stats needs the materialized instance; drop -stream")
+		}
+		sw, err := fl.NewStreamWriter(stdout, s.StreamName(*seed), *m, *nc)
+		if err != nil {
+			return err
+		}
+		if err := s.Stream(*seed, sw.Facility, sw.Edge); err != nil {
+			return err
+		}
+		return sw.Flush()
 	}
 	inst, err := g.Generate(*seed)
 	if err != nil {

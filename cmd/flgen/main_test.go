@@ -50,6 +50,42 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestStreamRoundTrip pins the -stream mode to the in-memory generator:
+// parsing the streamed text and re-serializing it canonically must yield
+// byte-identical output to serializing the materialized instance — same
+// name, same costs, same edges.
+func TestStreamRoundTrip(t *testing.T) {
+	for _, family := range []string{"uniform", "sparse"} {
+		args := []string{"-family", family, "-m", "7", "-nc", "23", "-seed", "11"}
+		var mem, streamed bytes.Buffer
+		if err := run(args, &mem, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(append(args, "-stream"), &streamed, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := fl.Read(&streamed)
+		if err != nil {
+			t.Fatalf("%s: streamed output does not parse: %v", family, err)
+		}
+		var reser bytes.Buffer
+		if err := fl.Write(&reser, inst); err != nil {
+			t.Fatal(err)
+		}
+		if reser.String() != mem.String() {
+			t.Fatalf("%s: streamed instance differs from materialized one", family)
+		}
+	}
+}
+
+func TestStreamUnsupportedFamily(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-family", "euclidean", "-stream"}, &out, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "does not support -stream") {
+		t.Fatalf("euclidean -stream = %v, want unsupported error", err)
+	}
+}
+
 func TestRunDeterministic(t *testing.T) {
 	gen := func() string {
 		var out bytes.Buffer

@@ -1,7 +1,8 @@
 // Command flvet is the multichecker driver for the repo's custom static
 // analyzers (internal/analysis): detrand, maporder, congestmsg, poolonly,
-// and failclosed — the compile-time-checked half of the simulator's
-// determinism, CONGEST, and fail-closed wire contracts. `make lint`
+// failclosed, and hotmap — the compile-time-checked half of the simulator's
+// determinism, CONGEST, fail-closed wire, and memory-layout contracts.
+// `make lint`
 // (folded into `make check`) runs it over ./..., so every change is gated
 // on the suite.
 //

@@ -11,6 +11,7 @@ func TestMaporderGolden(t *testing.T)   { RunGolden(t, Maporder, "maporder") }
 func TestCongestmsgGolden(t *testing.T) { RunGolden(t, Congestmsg, "congestmsg") }
 func TestPoolonlyGolden(t *testing.T)   { RunGolden(t, Poolonly, "poolonly") }
 func TestFailclosedGolden(t *testing.T) { RunGolden(t, Failclosed, "failclosed") }
+func TestHotmapGolden(t *testing.T)     { RunGolden(t, Hotmap, "hotmap") }
 
 func TestSuiteMetadata(t *testing.T) {
 	seen := map[string]bool{}

@@ -1,0 +1,11 @@
+package hotmap
+
+// Cold file (report.go is not in the hotmap file set): maps are fine here.
+
+func buildReport(ids []int) map[int]bool {
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}

@@ -86,6 +86,8 @@ func Experiments() []Experiment {
 			Claim: "crashes, duplication and heavy loss cost quality, never certified feasibility", Run: ChaosOverhead},
 		{ID: "E15", Kind: "table", Name: "Byzantine resilience under corruption and forgery",
 			Claim: "honest servable clients stay certified-served; quarantine buys back clients the lure attack strands", Run: ByzantineResilience},
+		{ID: "E16", Kind: "table", Name: "Million-node engine scaling",
+			Claim: "CSR adjacency and arena payloads keep steady-state allocs/round flat from 10^5 to 5*10^6 nodes", Run: MillionNodeScaling},
 	}
 }
 

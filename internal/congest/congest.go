@@ -15,72 +15,202 @@ package congest
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 )
 
 // Graph is an undirected communication topology over nodes 0..N()-1.
+//
+// A graph has two phases. During the builder phase AddEdge appends to a
+// pending edge list in O(1). Finalize (called explicitly, by the engine at
+// the start of Run, or lazily by the first query) freezes the graph into a
+// CSR (compressed sparse row) layout: one flat neighbour array indexed by a
+// rowStart offset table, so the whole adjacency structure is three
+// allocations regardless of node count and neighbour iteration is a
+// contiguous scan. Per-row neighbour order is insertion order — exactly the
+// order the old slice-of-slices builder produced — so freezing changes no
+// observable iteration order. A second flat array keeps each row sorted by
+// neighbour id for O(log degree) adjacency queries.
+//
 // The zero value is an empty graph; use NewGraph.
 type Graph struct {
-	adj [][]int
+	n int
+	// Builder phase: endpoint pairs in AddEdge call order.
+	pendU, pendV []int
+	// Frozen CSR. rowStart has n+1 entries; the neighbours of u are
+	// nbrs[rowStart[u]:rowStart[u+1]] in insertion order, and sorted holds
+	// the same rows in ascending neighbour-id order for binary search.
+	frozen    bool
+	rowStart  []int
+	nbrs      []int
+	sorted    []int32
+	edgeCount int
 }
 
 // NewGraph returns a graph with n isolated nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{adj: make([][]int, n)}
+	return &Graph{n: n}
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
-// AddEdge connects u and v. Self-loops and duplicate edges are rejected.
+// AddEdge connects u and v. Self-loops are rejected immediately; duplicate
+// edges are detected at Finalize time (silently dropped by Finalize, an
+// error from FinalizeChecked). Adding an edge to a frozen graph is an error.
 func (g *Graph) AddEdge(u, v int) error {
-	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
-		return fmt.Errorf("congest: edge (%d,%d) out of range [0,%d)", u, v, g.N())
+	if g.frozen {
+		return fmt.Errorf("congest: AddEdge(%d,%d) on frozen graph", u, v)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("congest: edge (%d,%d) out of range [0,%d)", u, v, g.n)
 	}
 	if u == v {
 		return fmt.Errorf("congest: self-loop at %d", u)
 	}
-	for _, w := range g.adj[u] {
-		if w == v {
-			return fmt.Errorf("congest: duplicate edge (%d,%d)", u, v)
-		}
-	}
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
+	g.pendU = append(g.pendU, u)
+	g.pendV = append(g.pendV, v)
 	return nil
 }
 
-// Neighbors returns the neighbour list of u. Shared storage: callers must
-// not modify the returned slice.
-func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+// Finalize freezes the graph into its CSR layout, silently dropping all but
+// the first occurrence of each duplicate edge. It is idempotent; queries and
+// the engine call it automatically.
+func (g *Graph) Finalize() {
+	if !g.frozen {
+		g.freeze(nil)
+	}
+}
+
+// FinalizeChecked freezes the graph like Finalize but reports the first
+// duplicate edge encountered. The graph is frozen (with duplicates dropped)
+// even when an error is returned.
+func (g *Graph) FinalizeChecked() error {
+	if g.frozen {
+		return nil
+	}
+	var err error
+	g.freeze(&err)
+	return err
+}
+
+// freeze packs the pending edge list into the CSR arrays. Counting sort by
+// endpoint keeps per-row order identical to the append order the old
+// slice-of-slices builder used; a stamp array dedups each row in one pass.
+func (g *Graph) freeze(dupErr *error) {
+	n := g.n
+	rowStart := make([]int, n+1)
+	for k := range g.pendU {
+		rowStart[g.pendU[k]+1]++
+		rowStart[g.pendV[k]+1]++
+	}
+	for u := 0; u < n; u++ {
+		rowStart[u+1] += rowStart[u]
+	}
+	nbrs := make([]int, rowStart[n])
+	cur := make([]int, n)
+	copy(cur, rowStart[:n])
+	for k := range g.pendU {
+		u, v := g.pendU[k], g.pendV[k]
+		nbrs[cur[u]] = v
+		cur[u]++
+		nbrs[cur[v]] = u
+		cur[v]++
+	}
+	// Stable in-place dedup: stamp[v] == u+1 iff v was already seen in row
+	// u; later rows use a distinct stamp value so no reset pass is needed.
+	stamp := make([]int, n)
+	write := 0
+	newStart := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		newStart[u] = write
+		for k := rowStart[u]; k < rowStart[u+1]; k++ {
+			v := nbrs[k]
+			if stamp[v] == u+1 {
+				if dupErr != nil && *dupErr == nil {
+					*dupErr = fmt.Errorf("congest: duplicate edge (%d,%d)", u, v)
+				}
+				continue
+			}
+			stamp[v] = u + 1
+			nbrs[write] = v
+			write++
+		}
+	}
+	newStart[n] = write
+	g.rowStart = newStart
+	g.nbrs = nbrs[:write:write]
+	g.edgeCount = write / 2
+	g.sorted = make([]int32, write)
+	for u := 0; u < n; u++ {
+		row := g.sorted[newStart[u]:newStart[u+1]]
+		for k := range row {
+			row[k] = int32(g.nbrs[newStart[u]+k])
+		}
+		slices.Sort(row)
+	}
+	g.pendU, g.pendV = nil, nil
+	g.frozen = true
+}
+
+// Neighbors returns the neighbour list of u in insertion order. Shared
+// storage: callers must not modify the returned slice.
+func (g *Graph) Neighbors(u int) []int {
+	g.Finalize()
+	return g.nbrs[g.rowStart[u]:g.rowStart[u+1]]
+}
 
 // Degree returns the number of neighbours of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	g.Finalize()
+	return g.rowStart[u+1] - g.rowStart[u]
+}
 
 // EdgeCount returns the number of undirected edges.
 func (g *Graph) EdgeCount() int {
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
-	}
-	return total / 2
+	g.Finalize()
+	return g.edgeCount
 }
 
 // HasEdge reports whether u and v are adjacent.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= g.N() {
-		return false
+	_, ok := g.NeighborIndex(u, v)
+	return ok
+}
+
+// NeighborIndex returns a dense index for neighbour v of u — its position
+// in u's ascending-id row, in [0, Degree(u)) — and whether the edge exists.
+// The index is stable for the life of the frozen graph and distinct per
+// neighbour, so flat per-edge state arrays can be indexed by it. Note it is
+// the sorted-row position, not the Neighbors iteration position.
+func (g *Graph) NeighborIndex(u, v int) (int, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
 	}
-	for _, w := range g.adj[u] {
-		if w == v {
-			return true
-		}
+	g.Finalize()
+	row := g.sorted[g.rowStart[u]:g.rowStart[u+1]]
+	pos, ok := slices.BinarySearch(row, int32(v))
+	if !ok {
+		return 0, false
 	}
-	return false
+	return pos, true
+}
+
+// directedCount returns the number of directed adjacency entries (2·edges),
+// which is also the total length of all rows. Engine use only.
+func (g *Graph) directedCount() int {
+	g.Finalize()
+	return g.rowStart[g.n]
+}
+
+// rowOffsets returns the CSR offsets of node u's row. Engine use only.
+func (g *Graph) rowOffsets(u int) (int, int) {
+	return g.rowStart[u], g.rowStart[u+1]
 }
 
 // Bipartite builds the communication graph of a facility-location instance:
 // facilities occupy node ids 0..m-1 and clients m..m+nc-1; each (facility i,
-// client j) pair in edges becomes a communication edge.
+// client j) pair in edges becomes a communication edge. The returned graph
+// is already frozen; duplicate pairs are an error.
 func Bipartite(m, nc int, edges func(yield func(facility, client int) bool)) (*Graph, error) {
 	g := NewGraph(m + nc)
 	var err error
@@ -92,6 +222,9 @@ func Bipartite(m, nc int, edges func(yield func(facility, client int) bool)) (*G
 		return true
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := g.FinalizeChecked(); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -134,23 +267,37 @@ type Recoverable interface {
 
 // Env is a node's private handle to the network: its identity, neighbour
 // list, deterministic private randomness, and staged outgoing messages.
+//
+// The engine allocates all Env state up front in flat per-run arrays —
+// the Env structs themselves, the once-per-neighbour generation stamps,
+// and the payload arenas — partitioned by the frozen graph's CSR offsets,
+// so nodes owned by one shard occupy contiguous memory (ids within a shard
+// are near-contiguous) and steady-state rounds allocate nothing.
 type Env struct {
-	id       int
-	graph    *Graph
+	id    int
+	graph *Graph
+	// seed derives the node's private RNG stream; rng itself is built
+	// lazily on first Rand() call. A math/rand source alone is ~5 KiB, so
+	// eager construction would dominate engine memory in the million-node
+	// regime — and most nodes (clients, benchmark chatter) never draw.
+	seed     int64
 	rng      *rand.Rand
 	out      []Message
 	bitLimit int
 	sendErr  error
-	// sentTo records the round generation in which a neighbour was last
-	// sent to; comparing against gen makes the once-per-neighbour check
-	// O(1) per send with no per-round map clearing.
-	sentTo map[int]uint64
-	gen    uint64
+	// sentGen records, per neighbour position (NeighborIndex order), the
+	// round generation in which that neighbour was last sent to; comparing
+	// against gen makes the once-per-neighbour check O(log degree) per send
+	// with no per-round clearing. A view into the engine's flat array.
+	sentGen []uint64
+	gen     uint64
 	// arena holds the payload bytes staged this round; prevArena holds the
 	// previous round's payloads, which recipients are reading this round.
 	// beginRound swaps them, so steady-state sends allocate nothing. A
 	// payload is therefore valid only until the end of the round it is
-	// delivered in — receivers must copy bytes they want to keep.
+	// delivered in — receivers must copy bytes they want to keep. Both are
+	// capacity-sized views into flat per-run blocks; a node that outgrows
+	// its slot falls back to a private allocation transparently.
 	arena     []byte
 	prevArena []byte
 	// rejected counts inbox frames this node's protocol logic refused as
@@ -171,8 +318,18 @@ func (e *Env) Neighbors() []int { return e.graph.Neighbors(e.id) }
 // Degree returns the node's degree.
 func (e *Env) Degree() int { return e.graph.Degree(e.id) }
 
-// Rand returns the node's private deterministic random source.
-func (e *Env) Rand() *rand.Rand { return e.rng }
+// Rand returns the node's private deterministic random source,
+// constructing it on first use. Laziness is unobservable to the
+// protocol: the stream is a pure function of the node seed, not of
+// construction time, so a node that draws sees exactly the sequence the
+// eager engine produced — and a node that never draws costs no source
+// state.
+func (e *Env) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.seed))
+	}
+	return e.rng
+}
 
 // Reject records that the node discarded one inbox frame as malformed.
 // Fail-closed protocol decoders call it on every frame they refuse
@@ -190,7 +347,8 @@ func (e *Env) Send(to int, payload []byte) {
 	if e.sendErr != nil {
 		return
 	}
-	if !e.graph.HasEdge(e.id, to) {
+	pos, ok := e.graph.NeighborIndex(e.id, to)
+	if !ok {
 		e.sendErr = fmt.Errorf("congest: node %d sent to non-neighbour %d", e.id, to)
 		return
 	}
@@ -198,11 +356,11 @@ func (e *Env) Send(to int, payload []byte) {
 		e.sendErr = fmt.Errorf("congest: node %d message of %d bits exceeds limit %d", e.id, len(payload)*8, e.bitLimit)
 		return
 	}
-	if e.sentTo[to] == e.gen {
+	if e.sentGen[pos] == e.gen {
 		e.sendErr = fmt.Errorf("congest: node %d sent twice to %d in one round", e.id, to)
 		return
 	}
-	e.sentTo[to] = e.gen
+	e.sentGen[pos] = e.gen
 	// Copy the payload into the round arena so node-local buffers can be
 	// reused by the caller without a per-message allocation. If the append
 	// grows the arena, slices handed out earlier keep pointing into the old

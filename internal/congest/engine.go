@@ -96,19 +96,40 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 		maxRounds = DefaultMaxRounds
 	}
 
+	// Freeze the topology and lay out all per-node environment state in flat
+	// blocks partitioned by the CSR row offsets: the Env structs themselves,
+	// the once-per-neighbour generation stamps (one slot per directed edge),
+	// and the two payload arenas. Shards own near-contiguous id ranges, so
+	// this id-ordered layout is also shard-affine — each worker's rounds walk
+	// a contiguous region of every array.
+	g.Finalize()
+	dir := g.directedCount()
+	hint := payloadHint(cfg.BitLimit)
+	envStore := make([]Env, len(nodes))
+	genAll := make([]uint64, dir)
+	arenaAll := make([]byte, dir*hint)
+	prevAll := make([]byte, dir*hint)
 	envs := make([]*Env, len(nodes))
 	for id := range nodes {
-		envs[id] = &Env{
+		s, e := g.rowOffsets(id)
+		env := &envStore[id]
+		*env = Env{
 			id:       id,
 			graph:    g,
-			rng:      rand.New(rand.NewSource(nodeSeed(cfg.Seed, id))),
+			seed:     nodeSeed(cfg.Seed, id),
 			bitLimit: cfg.BitLimit,
-			sentTo:   make(map[int]uint64),
-			// gen starts at 1 so an absent sentTo entry (zero value) never
-			// collides with a live generation.
+			sentGen:  genAll[s:e:e],
+			// gen starts at 1 so a zero-valued sentGen slot never collides
+			// with a live generation.
 			gen: 1,
+			// Full-length capacity, zero length: append fills the node's own
+			// slot and reallocates privately only if the slot overflows,
+			// never spilling into a neighbour's region.
+			arena:     arenaAll[s*hint : s*hint : e*hint],
+			prevArena: prevAll[s*hint : s*hint : e*hint],
 		}
-		nodes[id].Init(envs[id])
+		envs[id] = env
+		nodes[id].Init(env)
 	}
 
 	halted := make([]bool, len(nodes))
@@ -301,6 +322,21 @@ func pendingRecovery(recoverIDs []int, recoverAt map[int]int, crashed []bool, ro
 		}
 	}
 	return false
+}
+
+// payloadHint sizes the per-directed-edge arena slot from the configured
+// bit limit: enough for a full-size payload per neighbour per round, capped
+// so unlimited (LOCAL-model) runs don't over-reserve. Overflow just means a
+// private reallocation for that one node, not an error.
+func payloadHint(bitLimit int) int {
+	h := bitLimit / 8
+	if h < 4 {
+		h = 4
+	}
+	if h > 16 {
+		h = 16
+	}
+	return h
 }
 
 // nodeSeed mixes the run seed with the node id (splitmix64 finalizer) so

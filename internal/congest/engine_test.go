@@ -55,8 +55,18 @@ func TestGraphAddEdgeErrors(t *testing.T) {
 	if err := g.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(1, 0); err == nil || !strings.Contains(err.Error(), "duplicate") {
-		t.Fatalf("duplicate edge = %v", err)
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatalf("AddEdge is O(1) now; duplicates surface at FinalizeChecked, got %v", err)
+	}
+	if err := g.FinalizeChecked(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("FinalizeChecked = %v, want duplicate error", err)
+	}
+	// Even the checked freeze leaves a usable deduplicated graph behind.
+	if g.EdgeCount() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("post-freeze graph: E=%d HasEdge(0,1)=%v", g.EdgeCount(), g.HasEdge(0, 1))
+	}
+	if err := g.AddEdge(0, 2); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("AddEdge on frozen graph = %v, want frozen error", err)
 	}
 }
 

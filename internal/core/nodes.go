@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/bits"
+	"slices"
+	"sort"
 
 	"dfl/internal/congest"
 	"dfl/internal/fl"
@@ -35,32 +37,47 @@ import (
 // invalidates). Iterations between invalidations reuse the cached star at
 // zero scan cost, and recomputations reuse the scratch buffers, so the
 // steady state allocates nothing.
+//
+// Per-edge state is struct-of-arrays: newFacilityNodes lays out one flat
+// array per field for the whole run, partitioned by the instance's
+// facility-edge CSR offsets, and each node holds subslice views into its
+// own region. The old per-node map (posOf: client node id -> edge
+// position) is a sorted-id array plus binary search (edgePos), so message
+// decode stays O(log degree) without any hashing or per-node allocation.
 type facilityNode struct {
 	inst *fl.Instance
 	idx  int // facility index == node id
 	cfg  Config
 	d    Derived
 
-	env    *congest.Env
-	edges  []clientEdge // ascending cost, immutable after construction
-	posOf  map[int]int  // client node id -> position in edges (message decode only)
-	active []bool       // by edge position: client still unconnected, as far as i knows
-	open   bool
-	copies int // open copies (soft-capacitated mode; open == copies > 0)
-	load   int // clients connected through this facility
+	env *congest.Env
+	// Edge list split by field, ascending cost, immutable after
+	// construction: edgeNode[p] is the client node id at position p,
+	// edgeCost[p] its connection cost.
+	edgeNode []int32
+	edgeCost []int64
+	// posOf replacement: nodeSorted lists the incident client node ids in
+	// ascending order and posAt the edge position of each; edgePos binary
+	// searches them.
+	nodeSorted []int32
+	posAt      []int32
+	active     []bool // by edge position: client still unconnected, as far as i knows
+	open       bool
+	copies     int // open copies (soft-capacitated mode; open == copies > 0)
+	load       int // clients connected through this facility
 
 	// Cached best star over the active clients; valid while !starDirty.
 	starDirty bool
-	starPos   []int // edge positions of active clients, ascending cost (reused scratch)
-	bestLen   int   // prefix of starPos forming the best star; 0 = no active client
-	bestNum   int64 // best-star effectiveness numerator (cost + opening charge)
-	bestDen   int64 // best-star effectiveness denominator (= star size)
-	bestClass int   // quantized class of the best star; -1 = above every threshold
+	starPos   []int32 // edge positions of active clients, ascending cost (reused scratch)
+	bestLen   int     // prefix of starPos forming the best star; 0 = no active client
+	bestNum   int64   // best-star effectiveness numerator (cost + opening charge)
+	bestDen   int64   // best-star effectiveness denominator (= star size)
+	bestClass int     // quantized class of the best star; -1 = above every threshold
 
-	offeredAt  []bool // by edge position: offered in the current iteration
-	offeredPos []int  // positions offered this iteration (for O(|offered|) reset)
-	offerClass int    // class of the star offered this iteration
-	granted    []int  // scratch: client node ids granted this iteration
+	offeredAt  []bool  // by edge position: offered in the current iteration
+	offeredPos []int32 // positions offered this iteration (for O(|offered|) reset)
+	offerClass int     // class of the star offered this iteration
+	granted    []int32 // scratch: client node ids granted this iteration
 	buf        []byte
 
 	// sentry is the sender-quarantine layer (see quarantine.go); nil unless
@@ -78,45 +95,111 @@ type facilityNode struct {
 	done bool
 }
 
-type clientEdge struct {
-	node int // client node id (m + client index)
-	cost int64
-}
-
 var (
 	_ congest.Node        = (*facilityNode)(nil)
 	_ congest.Recoverable = (*facilityNode)(nil)
 )
 
-func newFacilityNode(inst *fl.Instance, i int, cfg Config, d Derived) *facilityNode {
+// facBufCap is each facility's slot in the shared encode-buffer block; the
+// largest payload it encodes (an OFFER) is maxOfferBits/8 = 10 bytes, so a
+// slot never reallocates.
+const facBufCap = 16
+
+// newFacilityNodes builds every facility state machine over one shared
+// struct-of-arrays allocation: a handful of flat arrays sized by the
+// instance's total facility-edge count, partitioned by the facility-edge
+// CSR offsets. Node i's views cover its own contiguous region (capacity
+// clamped by three-index slicing, so a pathological overflow reallocates
+// privately instead of corrupting a neighbour's region). This replaces
+// O(m) separate map/slice allocations with O(1) large ones and keeps each
+// facility's whole working set on adjacent cache lines.
+func newFacilityNodes(inst *fl.Instance, cfg Config, d Derived) []*facilityNode {
 	m := inst.M()
-	fes := inst.FacilityEdges(i)
-	f := &facilityNode{
-		inst:      inst,
-		idx:       i,
-		cfg:       cfg,
-		d:         d,
-		edges:     make([]clientEdge, 0, len(fes)),
-		posOf:     make(map[int]int, len(fes)),
-		active:    make([]bool, len(fes)),
-		starDirty: true,
-		starPos:   make([]int, 0, len(fes)),
-		offeredAt: make([]bool, len(fes)),
-		buf:       make([]byte, 0, 8),
+	total := 0
+	for i := 0; i < m; i++ {
+		total += len(inst.FacilityEdges(i))
 	}
-	for p, e := range fes { // already sorted by ascending cost
-		node := m + e.To
-		f.posOf[node] = p
-		f.active[p] = true
-		f.edges = append(f.edges, clientEdge{node: node, cost: e.Cost})
+	var (
+		store      = make([]facilityNode, m)
+		out        = make([]*facilityNode, m)
+		edgeNode   = make([]int32, total)
+		edgeCost   = make([]int64, total)
+		nodeSorted = make([]int32, total)
+		posAt      = make([]int32, total)
+		active     = make([]bool, total)
+		offeredAt  = make([]bool, total)
+		starPos    = make([]int32, total)
+		offeredPos = make([]int32, total)
+		granted    = make([]int32, total)
+		bufAll     = make([]byte, m*facBufCap)
+	)
+	off := 0
+	for i := 0; i < m; i++ {
+		fes := inst.FacilityEdges(i)
+		s, e := off, off+len(fes)
+		f := &store[i]
+		*f = facilityNode{
+			inst:       inst,
+			idx:        i,
+			cfg:        cfg,
+			d:          d,
+			edgeNode:   edgeNode[s:e:e],
+			edgeCost:   edgeCost[s:e:e],
+			nodeSorted: nodeSorted[s:e:e],
+			posAt:      posAt[s:e:e],
+			active:     active[s:e:e],
+			offeredAt:  offeredAt[s:e:e],
+			starDirty:  true,
+			starPos:    starPos[s:s:e],
+			offeredPos: offeredPos[s:s:e],
+			granted:    granted[s:s:e],
+			buf:        bufAll[i*facBufCap : i*facBufCap : (i+1)*facBufCap],
+		}
+		for p, ed := range fes { // already sorted by ascending cost
+			node := int32(m + ed.To)
+			f.edgeNode[p] = node
+			f.edgeCost[p] = ed.Cost
+			f.nodeSorted[p] = node
+			f.posAt[p] = int32(p)
+			f.active[p] = true
+		}
+		sort.Sort(nodePosSort{f.nodeSorted, f.posAt})
+		out[i] = f
+		off = e
 	}
-	return f
+	return out
+}
+
+// newFacilityNode builds the single facility i (test helper; production
+// runs use the batch struct-of-arrays constructor directly).
+func newFacilityNode(inst *fl.Instance, i int, cfg Config, d Derived) *facilityNode {
+	return newFacilityNodes(inst, cfg, d)[i]
+}
+
+// nodePosSort co-sorts a facility's (nodeSorted, posAt) pair by node id.
+type nodePosSort struct{ nodes, pos []int32 }
+
+func (s nodePosSort) Len() int           { return len(s.nodes) }
+func (s nodePosSort) Less(i, j int) bool { return s.nodes[i] < s.nodes[j] }
+func (s nodePosSort) Swap(i, j int) {
+	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
+	s.pos[i], s.pos[j] = s.pos[j], s.pos[i]
+}
+
+// edgePos returns the edge position of the given client node id, the
+// struct-of-arrays replacement for the old posOf map.
+func (f *facilityNode) edgePos(node int) (int, bool) {
+	k, ok := slices.BinarySearch(f.nodeSorted, int32(node))
+	if !ok {
+		return 0, false
+	}
+	return int(f.posAt[k]), true
 }
 
 // deactivate removes one client from the active set and invalidates the
 // cached best star. It is the only way the active set shrinks.
 func (f *facilityNode) deactivate(node int) {
-	pos, ok := f.posOf[node]
+	pos, ok := f.edgePos(node)
 	if !ok || !f.active[pos] {
 		return
 	}
@@ -216,7 +299,7 @@ func (f *facilityNode) makeOffer(r int) {
 	for _, pos := range f.starPos[:f.bestLen] {
 		f.offeredAt[pos] = true
 		f.offeredPos = append(f.offeredPos, pos)
-		f.env.Send(f.edges[pos].node, payload)
+		f.env.Send(int(f.edgeNode[pos]), payload)
 	}
 }
 
@@ -233,12 +316,12 @@ func (f *facilityNode) recomputeBestStar() {
 	f.starPos = f.starPos[:0]
 	f.bestLen, f.bestNum, f.bestDen, f.bestClass = 0, 0, 0, -1
 	var sum, t int64
-	for pos := range f.edges {
+	for pos := range f.edgeNode {
 		if !f.active[pos] {
 			continue
 		}
-		f.starPos = append(f.starPos, pos)
-		sum = fl.AddSat(sum, f.edges[pos].cost)
+		f.starPos = append(f.starPos, int32(pos))
+		sum = fl.AddSat(sum, f.edgeCost[pos])
 		t++
 		total := fl.AddSat(sum, f.openingCharge(int(t)))
 		if f.bestLen == 0 || fl.RatioLess(total, t, f.bestNum, f.bestDen) {
@@ -289,7 +372,7 @@ func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
 		// a repeated sender marks a duplication artifact, not new evidence.
 		dup := msg.From == lastGrant
 		lastGrant = msg.From
-		pos, ok := f.posOf[msg.From]
+		pos, ok := f.edgePos(msg.From)
 		if !ok || !f.offeredAt[pos] {
 			// Stale, duplicated, or forged grant. A grant that answers no
 			// live offer is soft evidence against the sender: honest clients
@@ -303,8 +386,8 @@ func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
 		// Consuming the offer slot makes a duplicated GRANT (wire-level
 		// duplication fault) indistinguishable from a stale one.
 		f.offeredAt[pos] = false
-		granted = append(granted, msg.From)
-		sum = fl.AddSat(sum, f.edges[pos].cost)
+		granted = append(granted, int32(msg.From))
+		sum = fl.AddSat(sum, f.edgeCost[pos])
 	}
 	f.granted = granted
 	if len(granted) == 0 {
@@ -321,7 +404,7 @@ func (f *facilityNode) processGrants(r int, inbox []congest.Message) {
 
 // connect commits a set of clients: accounts copies/load, marks the
 // facility open, and sends CONNECT.
-func (f *facilityNode) connect(nodes []int) {
+func (f *facilityNode) connect(nodes []int32) {
 	f.load += len(nodes)
 	if f.cfg.SoftCapacity > 0 {
 		if need := fl.CopiesNeeded(f.load, f.cfg.SoftCapacity); need > f.copies {
@@ -332,8 +415,8 @@ func (f *facilityNode) connect(nodes []int) {
 	}
 	f.open = true
 	for _, node := range nodes {
-		f.deactivate(node)
-		f.env.Send(node, payloadConnect)
+		f.deactivate(int(node))
+		f.env.Send(int(node), payloadConnect)
 	}
 }
 
@@ -368,18 +451,20 @@ func (f *facilityNode) cleanupRound(r int, inbox []congest.Message) bool {
 // connectForced opens for the clients that forced this facility and
 // connects them. Wire-level duplicates arrive adjacent (inboxes are sorted
 // by sender) and are folded, which keeps connect's one-send-per-client
-// contract intact.
+// contract intact. The granted scratch is free in the cleanup tail, so the
+// forced list reuses it.
 func (f *facilityNode) connectForced(inbox []congest.Message, kind byte, openedFlag *bool) {
-	var forced []int
+	forced := f.granted[:0]
 	for _, msg := range inbox {
 		if len(msg.Payload) != 1 || msg.Payload[0] != kind {
 			continue
 		}
-		if len(forced) > 0 && forced[len(forced)-1] == msg.From {
+		if len(forced) > 0 && forced[len(forced)-1] == int32(msg.From) {
 			continue // duplicated force
 		}
-		forced = append(forced, msg.From)
+		forced = append(forced, int32(msg.From))
 	}
+	f.granted = forced
 	if len(forced) == 0 {
 		return
 	}
@@ -449,15 +534,24 @@ var (
 	_ congest.Recoverable = (*clientNode)(nil)
 )
 
-func newClientNode(inst *fl.Instance, j int, cfg Config, d Derived) *clientNode {
-	return &clientNode{
-		inst:     inst,
-		idx:      j,
-		cfg:      cfg,
-		d:        d,
-		assigned: fl.Unassigned,
-		granted:  -1,
+// newClientNodes builds every client state machine in one flat allocation;
+// clients carry no per-edge state, so a single contiguous store is the
+// whole struct-of-arrays story on this side.
+func newClientNodes(inst *fl.Instance, cfg Config, d Derived) []*clientNode {
+	store := make([]clientNode, inst.NC())
+	out := make([]*clientNode, inst.NC())
+	for j := range store {
+		store[j] = clientNode{
+			inst:     inst,
+			idx:      j,
+			cfg:      cfg,
+			d:        d,
+			assigned: fl.Unassigned,
+			granted:  -1,
+		}
+		out[j] = &store[j]
 	}
+	return out
 }
 
 func (c *clientNode) Init(env *congest.Env) { c.env = env }
@@ -626,22 +720,35 @@ func (c *clientNode) pickOffer(inbox []congest.Message) {
 // A client whose every facility is dead is unservable under this fault
 // schedule: it halts unassigned and the certifier exempts it.
 func (c *clientNode) repairRound(inbox []congest.Message) {
-	alive := make(map[int]bool, len(inbox))
-	openF := make(map[int]bool, len(inbox))
+	// Inboxes arrive sorted by sender id, so one pass over the beacons
+	// yields the alive and open id lists already ascending; membership
+	// below is a binary search. This replaces the two per-call maps the
+	// old layout allocated here. Repeated beacons from one sender (wire
+	// duplication) fold by comparing against the list tail, preserving the
+	// map version's OR semantics for the open bit.
+	alive := make([]int32, 0, len(inbox))
+	openF := make([]int32, 0, len(inbox))
 	for _, msg := range inbox {
-		if open, ok := decodeBeacon(msg.Payload); ok {
-			alive[msg.From] = true
-			if open {
-				openF[msg.From] = true
+		open, ok := decodeBeacon(msg.Payload)
+		if !ok {
+			continue
+		}
+		from := int32(msg.From)
+		if n := len(alive); n == 0 || alive[n-1] != from {
+			alive = append(alive, from)
+		}
+		if open {
+			if n := len(openF); n == 0 || openF[n-1] != from {
+				openF = append(openF, from)
 			}
 		}
 	}
-	if c.assigned != fl.Unassigned && openF[c.assigned] {
+	if c.assigned != fl.Unassigned && sortedHas(openF, c.assigned) {
 		return // served: the assignment survived the faults
 	}
 	c.assigned = fl.Unassigned
 	for _, e := range c.inst.ClientEdges(c.idx) {
-		if openF[e.To] { // facility index == facility node id
+		if sortedHas(openF, e.To) { // facility index == facility node id
 			c.assigned = e.To
 			c.repairConnected = true
 			c.env.Send(e.To, payloadRepairJoin)
@@ -649,7 +756,7 @@ func (c *clientNode) repairRound(inbox []congest.Message) {
 		}
 	}
 	for _, e := range c.inst.ClientEdges(c.idx) {
-		if alive[e.To] {
+		if sortedHas(alive, e.To) {
 			c.repairForced = true
 			c.env.Send(e.To, payloadRepairForce)
 			return
@@ -658,4 +765,10 @@ func (c *clientNode) repairRound(inbox []congest.Message) {
 	// Every facility in reach is dead: the client is unservable under
 	// this fault schedule; it halts unassigned and the certifier
 	// exempts it.
+}
+
+// sortedHas reports membership of id in an ascending id list.
+func sortedHas(ids []int32, id int) bool {
+	_, ok := slices.BinarySearch(ids, int32(id))
+	return ok
 }

@@ -337,15 +337,15 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 		bitLimit = congest.SuggestedBitLimit(graph.N())
 	}
 
-	facilities := make([]*facilityNode, m)
-	clients := make([]*clientNode, nc)
+	// Struct-of-arrays construction: both sides come out of flat per-run
+	// allocations (see newFacilityNodes), not m+nc individual ones.
+	facilities := newFacilityNodes(inst, cfg, d)
+	clients := newClientNodes(inst, cfg, d)
 	nodes := make([]congest.Node, 0, m+nc)
 	for i := 0; i < m; i++ {
-		facilities[i] = newFacilityNode(inst, i, cfg, d)
 		nodes = append(nodes, facilities[i])
 	}
 	for j := 0; j < nc; j++ {
-		clients[j] = newClientNode(inst, j, cfg, d)
 		nodes = append(nodes, clients[j])
 	}
 

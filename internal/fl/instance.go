@@ -17,15 +17,19 @@ type Edge struct {
 // Instance is an immutable uncapacitated facility location instance on a
 // bipartite graph. Facilities are indexed 0..M()-1 and clients 0..NC()-1.
 //
-// The slices returned by ClientEdges and FacilityEdges are views into the
-// instance's internal storage and must not be modified; use the Copy
-// variants when mutation is needed.
+// Both adjacency directions are stored CSR-style: one flat edge array per
+// side plus an offset table, so a 10M-edge instance is six allocations and
+// every per-node edge list is a contiguous view. The slices returned by
+// ClientEdges and FacilityEdges are views into that storage and must not be
+// modified.
 type Instance struct {
-	name          string
-	facilityCost  []int64
-	clientEdges   [][]Edge // per client, sorted by ascending cost then facility id
-	facilityEdges [][]Edge // per facility, sorted by ascending cost then client id
-	edgeCount     int
+	name         string
+	facilityCost []int64
+	nc           int
+	cEdges       []Edge // all client rows, sorted by ascending cost then facility id
+	cStart       []int  // nc+1 offsets into cEdges
+	fEdges       []Edge // all facility rows, sorted by ascending cost then client id
+	fStart       []int  // m+1 offsets into fEdges
 }
 
 // RawEdge names one bipartite edge during instance construction.
@@ -38,46 +42,114 @@ type RawEdge struct {
 // New builds an instance from facility opening costs and an explicit sparse
 // edge list. Duplicate (facility, client) pairs are rejected.
 func New(name string, facilityCost []int64, numClients int, edges []RawEdge) (*Instance, error) {
-	m := len(facilityCost)
-	if m == 0 {
+	return NewStreamed(name, len(facilityCost), numClients, func(fac func(int, int64) error, edge func(int, int, int64) error) error {
+		for i, c := range facilityCost {
+			if err := fac(i, c); err != nil {
+				return err
+			}
+		}
+		for _, e := range edges {
+			if err := edge(e.Facility, e.Client, e.Cost); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// NewStreamed builds an instance from a deterministic edge stream without
+// ever materializing a RawEdge list: stream is invoked twice — once to
+// count degrees and validate, once to fill the CSR arrays — and must
+// produce the identical sequence of fac/edge calls both times (generators
+// replay their RNG; readers re-scan their input). Working memory beyond the
+// instance itself is the offset tables, so a 10M-edge instance streams in
+// with no intermediate 10M-element buffer.
+func NewStreamed(name string, m, numClients int, stream func(fac func(i int, cost int64) error, edge func(f, c int, cost int64) error) error) (*Instance, error) {
+	if m <= 0 {
 		return nil, errors.New("fl: instance needs at least one facility")
 	}
 	if numClients < 0 {
 		return nil, fmt.Errorf("fl: negative client count %d", numClients)
 	}
-	for i, f := range facilityCost {
-		if f < 0 || f > MaxCost {
-			return nil, fmt.Errorf("fl: facility %d cost %d out of range [0, %d]", i, f, MaxCost)
-		}
-	}
 	inst := &Instance{
-		name:          name,
-		facilityCost:  append([]int64(nil), facilityCost...),
-		clientEdges:   make([][]Edge, numClients),
-		facilityEdges: make([][]Edge, m),
+		name:         name,
+		facilityCost: make([]int64, m),
+		nc:           numClients,
+		cStart:       make([]int, numClients+1),
+		fStart:       make([]int, m+1),
 	}
-	for _, e := range edges {
-		if e.Facility < 0 || e.Facility >= m {
-			return nil, fmt.Errorf("fl: edge references facility %d, have %d facilities", e.Facility, m)
-		}
-		if e.Client < 0 || e.Client >= numClients {
-			return nil, fmt.Errorf("fl: edge references client %d, have %d clients", e.Client, numClients)
-		}
-		if e.Cost < 0 || e.Cost > MaxCost {
-			return nil, fmt.Errorf("fl: edge (%d,%d) cost %d out of range [0, %d]", e.Facility, e.Client, e.Cost, MaxCost)
-		}
-		inst.clientEdges[e.Client] = append(inst.clientEdges[e.Client], Edge{To: e.Facility, Cost: e.Cost})
-		inst.facilityEdges[e.Facility] = append(inst.facilityEdges[e.Facility], Edge{To: e.Client, Cost: e.Cost})
+	// Pass 1: validate everything and count per-row degrees into the offset
+	// tables (shifted by one so the prefix sum lands them in place).
+	count := 0
+	err := stream(
+		func(i int, cost int64) error {
+			if i < 0 || i >= m {
+				return fmt.Errorf("fl: facility index %d out of range [0,%d)", i, m)
+			}
+			if cost < 0 || cost > MaxCost {
+				return fmt.Errorf("fl: facility %d cost %d out of range [0, %d]", i, cost, MaxCost)
+			}
+			inst.facilityCost[i] = cost
+			return nil
+		},
+		func(f, c int, cost int64) error {
+			if f < 0 || f >= m {
+				return fmt.Errorf("fl: edge references facility %d, have %d facilities", f, m)
+			}
+			if c < 0 || c >= numClients {
+				return fmt.Errorf("fl: edge references client %d, have %d clients", c, numClients)
+			}
+			if cost < 0 || cost > MaxCost {
+				return fmt.Errorf("fl: edge (%d,%d) cost %d out of range [0, %d]", f, c, cost, MaxCost)
+			}
+			inst.fStart[f+1]++
+			inst.cStart[c+1]++
+			count++
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
-	inst.edgeCount = len(edges)
-	for j := range inst.clientEdges {
-		sortEdges(inst.clientEdges[j])
-		if err := checkNoDuplicate(inst.clientEdges[j]); err != nil {
+	for i := 0; i < m; i++ {
+		inst.fStart[i+1] += inst.fStart[i]
+	}
+	for j := 0; j < numClients; j++ {
+		inst.cStart[j+1] += inst.cStart[j]
+	}
+	// Pass 2: fill. The write cursors reuse the validated offsets; a stream
+	// that does not replay identically is detected by cursor overflow.
+	inst.fEdges = make([]Edge, count)
+	inst.cEdges = make([]Edge, count)
+	fCur := make([]int, m)
+	copy(fCur, inst.fStart[:m])
+	cCur := make([]int, numClients)
+	copy(cCur, inst.cStart[:numClients])
+	err = stream(
+		func(i int, cost int64) error { return nil },
+		func(f, c int, cost int64) error {
+			if fCur[f] >= inst.fStart[f+1] || cCur[c] >= inst.cStart[c+1] {
+				return fmt.Errorf("fl: stream replay mismatch at edge (%d,%d)", f, c)
+			}
+			inst.fEdges[fCur[f]] = Edge{To: c, Cost: cost}
+			fCur[f]++
+			inst.cEdges[cCur[c]] = Edge{To: f, Cost: cost}
+			cCur[c]++
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < numClients; j++ {
+		row := inst.cEdges[inst.cStart[j]:inst.cStart[j+1]]
+		sortEdges(row)
+		if err := checkNoDuplicate(row); err != nil {
 			return nil, fmt.Errorf("fl: client %d: %w", j, err)
 		}
 	}
-	for i := range inst.facilityEdges {
-		sortEdges(inst.facilityEdges[i])
+	for i := 0; i < m; i++ {
+		sortEdges(inst.fEdges[inst.fStart[i]:inst.fStart[i+1]])
 	}
 	return inst, nil
 }
@@ -107,13 +179,29 @@ func sortEdges(es []Edge) {
 	})
 }
 
+// checkNoDuplicate rejects repeated endpoints in one row. Rows are sorted
+// by (cost, id), so equal endpoints need not be adjacent; small rows take
+// the quadratic scan, large ones sort a scratch copy of the ids.
 func checkNoDuplicate(es []Edge) error {
-	seen := make(map[int]bool, len(es))
-	for _, e := range es {
-		if seen[e.To] {
-			return fmt.Errorf("duplicate edge to %d", e.To)
+	if len(es) <= 16 {
+		for a := 1; a < len(es); a++ {
+			for b := 0; b < a; b++ {
+				if es[a].To == es[b].To {
+					return fmt.Errorf("duplicate edge to %d", es[a].To)
+				}
+			}
 		}
-		seen[e.To] = true
+		return nil
+	}
+	ids := make([]int, len(es))
+	for k, e := range es {
+		ids[k] = e.To
+	}
+	sort.Ints(ids)
+	for k := 1; k < len(ids); k++ {
+		if ids[k] == ids[k-1] {
+			return fmt.Errorf("duplicate edge to %d", ids[k])
+		}
 	}
 	return nil
 }
@@ -125,10 +213,10 @@ func (in *Instance) Name() string { return in.name }
 func (in *Instance) M() int { return len(in.facilityCost) }
 
 // NC returns the number of clients.
-func (in *Instance) NC() int { return len(in.clientEdges) }
+func (in *Instance) NC() int { return in.nc }
 
 // EdgeCount returns the number of bipartite edges.
-func (in *Instance) EdgeCount() int { return in.edgeCount }
+func (in *Instance) EdgeCount() int { return len(in.cEdges) }
 
 // FacilityCost returns the opening cost of facility i.
 func (in *Instance) FacilityCost(i int) int64 { return in.facilityCost[i] }
@@ -140,19 +228,18 @@ func (in *Instance) FacilityCosts() []int64 {
 
 // ClientEdges returns facility options of client j sorted by ascending cost.
 // The returned slice is shared storage: callers must not modify it.
-func (in *Instance) ClientEdges(j int) []Edge { return in.clientEdges[j] }
+func (in *Instance) ClientEdges(j int) []Edge { return in.cEdges[in.cStart[j]:in.cStart[j+1]] }
 
 // FacilityEdges returns client options of facility i sorted by ascending
 // cost. The returned slice is shared storage: callers must not modify it.
-func (in *Instance) FacilityEdges(i int) []Edge { return in.facilityEdges[i] }
+func (in *Instance) FacilityEdges(i int) []Edge { return in.fEdges[in.fStart[i]:in.fStart[i+1]] }
 
 // Cost returns the connection cost between facility i and client j, and
 // whether that edge exists.
 func (in *Instance) Cost(i, j int) (int64, bool) {
-	es := in.clientEdges[j]
 	// Edges are sorted by cost, not facility id, so scan; client degrees are
 	// small in sparse instances and a scan beats a map for dense ones too.
-	for _, e := range es {
+	for _, e := range in.ClientEdges(j) {
 		if e.To == i {
 			return e.Cost, true
 		}
@@ -163,7 +250,7 @@ func (in *Instance) Cost(i, j int) (int64, bool) {
 // CheapestEdge returns the cheapest facility option of client j, or false
 // when j has no incident edge.
 func (in *Instance) CheapestEdge(j int) (Edge, bool) {
-	es := in.clientEdges[j]
+	es := in.ClientEdges(j)
 	if len(es) == 0 {
 		return Edge{}, false
 	}
@@ -188,10 +275,8 @@ func (in *Instance) Spread() int64 {
 	for _, f := range in.facilityCost {
 		consider(f)
 	}
-	for _, es := range in.clientEdges {
-		for _, e := range es {
-			consider(e.Cost)
-		}
+	for _, e := range in.cEdges {
+		consider(e.Cost)
 	}
 	if minC == 0 {
 		return 1
@@ -211,10 +296,8 @@ func (in *Instance) MinPositiveCost() int64 {
 	for _, f := range in.facilityCost {
 		consider(f)
 	}
-	for _, es := range in.clientEdges {
-		for _, e := range es {
-			consider(e.Cost)
-		}
+	for _, e := range in.cEdges {
+		consider(e.Cost)
 	}
 	if minC == 0 {
 		return 1
@@ -230,11 +313,9 @@ func (in *Instance) MaxCoefficient() int64 {
 			maxC = f
 		}
 	}
-	for _, es := range in.clientEdges {
-		for _, e := range es {
-			if e.Cost > maxC {
-				maxC = e.Cost
-			}
+	for _, e := range in.cEdges {
+		if e.Cost > maxC {
+			maxC = e.Cost
 		}
 	}
 	return maxC
@@ -243,8 +324,8 @@ func (in *Instance) MaxCoefficient() int64 {
 // Connectable reports whether every client has at least one incident edge,
 // i.e. whether a feasible solution exists.
 func (in *Instance) Connectable() bool {
-	for _, es := range in.clientEdges {
-		if len(es) == 0 {
+	for j := 0; j < in.nc; j++ {
+		if in.cStart[j+1] == in.cStart[j] {
 			return false
 		}
 	}

@@ -38,6 +38,52 @@ func Write(w io.Writer, inst *Instance) error {
 	return bw.Flush()
 }
 
+// StreamWriter emits the text instance format incrementally — header first,
+// then one callback per facility and edge — so a streamed generator can
+// serialize an arbitrarily large instance with O(1) writer state. Edge
+// order on disk is whatever order the stream produces (Read canonicalizes
+// on parse, so the formats round-trip).
+type StreamWriter struct {
+	bw   *bufio.Writer
+	m    int
+	nc   int
+	errs error
+}
+
+// NewStreamWriter writes the header and returns a writer whose Facility and
+// Edge methods append the corresponding lines.
+func NewStreamWriter(w io.Writer, name string, m, nc int) (*StreamWriter, error) {
+	if name == "" {
+		name = "unnamed"
+	}
+	sw := &StreamWriter{bw: bufio.NewWriter(w), m: m, nc: nc}
+	if _, err := fmt.Fprintf(sw.bw, "ufl %d %d %s\n", m, nc, sanitizeName(name)); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Facility writes facility i's opening cost line.
+func (sw *StreamWriter) Facility(i int, cost int64) error {
+	if i < 0 || i >= sw.m {
+		return fmt.Errorf("fl: facility index %d out of range [0,%d)", i, sw.m)
+	}
+	_, err := fmt.Fprintf(sw.bw, "f %d %d\n", i, cost)
+	return err
+}
+
+// Edge writes one connection cost line.
+func (sw *StreamWriter) Edge(f, c int, cost int64) error {
+	if f < 0 || f >= sw.m || c < 0 || c >= sw.nc {
+		return fmt.Errorf("fl: edge (%d,%d) out of range (%d facilities, %d clients)", f, c, sw.m, sw.nc)
+	}
+	_, err := fmt.Fprintf(sw.bw, "e %d %d %d\n", f, c, cost)
+	return err
+}
+
+// Flush drains the buffered output; call it once after the stream ends.
+func (sw *StreamWriter) Flush() error { return sw.bw.Flush() }
+
 func sanitizeName(s string) string {
 	return strings.Map(func(r rune) rune {
 		if r == ' ' || r == '\t' || r == '\n' {

@@ -47,46 +47,15 @@ func (u Uniform) defaults() Uniform {
 	return u
 }
 
-// Generate builds the instance for seed.
+// Generate builds the instance for seed. It materializes through the
+// streaming path (see Stream), so no intermediate RawEdge list ever exists
+// and peak memory is the instance plus O(m) scratch.
 func (u Uniform) Generate(seed int64) (*fl.Instance, error) {
 	u = u.defaults()
 	if u.M <= 0 || u.NC <= 0 {
 		return nil, fmt.Errorf("gen: uniform needs positive sizes, got m=%d nc=%d", u.M, u.NC)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	facCost := make([]int64, u.M)
-	for i := range facCost {
-		facCost[i] = randCost(rng, u.FacCostMin, u.FacCostMax)
-	}
-	edges := make([]fl.RawEdge, 0, int(float64(u.M*u.NC)*u.Density)+u.NC*u.MinDegree)
-	for j := 0; j < u.NC; j++ {
-		present := make([]bool, u.M)
-		deg := 0
-		for i := 0; i < u.M; i++ {
-			if rng.Float64() < u.Density {
-				present[i] = true
-				deg++
-			}
-		}
-		for deg < u.MinDegree && deg < u.M {
-			i := rng.Intn(u.M)
-			if !present[i] {
-				present[i] = true
-				deg++
-			}
-		}
-		for i := 0; i < u.M; i++ {
-			if present[i] {
-				edges = append(edges, fl.RawEdge{
-					Facility: i,
-					Client:   j,
-					Cost:     randCost(rng, u.EdgeCostMin, u.EdgeCostMax),
-				})
-			}
-		}
-	}
-	name := fmt.Sprintf("uniform-m%d-nc%d-d%.2f-s%d", u.M, u.NC, u.Density, seed)
-	return fl.New(name, facCost, u.NC, edges)
+	return Materialize(u, u.M, u.NC, seed)
 }
 
 // Spread describes a uniform non-metric family whose coefficient spread rho
@@ -98,7 +67,8 @@ type Spread struct {
 	Rho   int64
 }
 
-// Generate builds the instance for seed.
+// Generate builds the instance for seed. Like Uniform, it materializes
+// through the streaming path (see Stream).
 func (s Spread) Generate(seed int64) (*fl.Instance, error) {
 	if s.M <= 0 || s.NC <= 0 {
 		return nil, fmt.Errorf("gen: spread needs positive sizes, got m=%d nc=%d", s.M, s.NC)
@@ -106,41 +76,26 @@ func (s Spread) Generate(seed int64) (*fl.Instance, error) {
 	if s.Rho < 1 {
 		return nil, fmt.Errorf("gen: spread needs rho >= 1, got %d", s.Rho)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	logUniform := func(lo, hi int64) int64 {
-		if lo < 1 {
-			lo = 1
-		}
-		if hi <= lo {
-			return lo
-		}
-		v := math.Exp(rng.Float64() * math.Log(float64(hi)/float64(lo)))
-		c := int64(math.Round(float64(lo) * v))
-		if c < lo {
-			c = lo
-		}
-		if c > hi {
-			c = hi
-		}
-		return c
+	return Materialize(s, s.M, s.NC, seed)
+}
+
+// logUniform draws log-uniformly from [lo, hi] (clamped, lo raised to 1).
+func logUniform(rng *rand.Rand, lo, hi int64) int64 {
+	if lo < 1 {
+		lo = 1
 	}
-	facCost := make([]int64, s.M)
-	for i := range facCost {
-		facCost[i] = logUniform(maxI64(1, s.Rho/10), s.Rho)
+	if hi <= lo {
+		return lo
 	}
-	edges := make([]fl.RawEdge, 0, s.M*s.NC)
-	for j := 0; j < s.NC; j++ {
-		for i := 0; i < s.M; i++ {
-			edges = append(edges, fl.RawEdge{Facility: i, Client: j, Cost: logUniform(1, s.Rho)})
-		}
+	v := math.Exp(rng.Float64() * math.Log(float64(hi)/float64(lo)))
+	c := int64(math.Round(float64(lo) * v))
+	if c < lo {
+		c = lo
 	}
-	// Pin the extremes so the realized spread equals Rho exactly.
-	if len(edges) >= 2 {
-		edges[0].Cost = 1
-		edges[1].Cost = s.Rho
+	if c > hi {
+		c = hi
 	}
-	name := fmt.Sprintf("spread-m%d-nc%d-rho%d-s%d", s.M, s.NC, s.Rho, seed)
-	return fl.New(name, facCost, s.NC, edges)
+	return c
 }
 
 func randCost(rng *rand.Rand, lo, hi int64) int64 {

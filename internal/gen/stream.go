@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfl/internal/fl"
+)
+
+// Streamer is a Generator that can emit its instance as a bounded-memory
+// stream: facility costs first (ascending index), then edges grouped by
+// client in ascending client order — CSR order over the client side. The
+// stream must be a deterministic function of the seed and must replay
+// identically on repeated calls: fl.NewStreamed's two-pass CSR builder and
+// the flgen -stream writer both rely on that, and the contract is what lets
+// a 10M-edge instance be generated or serialized with O(m) working memory.
+type Streamer interface {
+	Generator
+	// StreamName returns the name Generate(seed) would stamp on the
+	// instance, so streamed and materialized forms are indistinguishable.
+	StreamName(seed int64) string
+	// Stream emits the instance for seed. Returning a callback error aborts
+	// the stream and surfaces the error.
+	Stream(seed int64, fac func(i int, cost int64) error, edge func(f, c int, cost int64) error) error
+}
+
+// Compile-time checks: the families that support bounded-memory emission.
+var (
+	_ Streamer = Uniform{}
+	_ Streamer = Spread{}
+)
+
+// StreamName implements Streamer.
+func (u Uniform) StreamName(seed int64) string {
+	u = u.defaults()
+	return fmt.Sprintf("uniform-m%d-nc%d-d%.2f-s%d", u.M, u.NC, u.Density, seed)
+}
+
+// Stream implements Streamer. The draw sequence is identical to the
+// materializing path — facility costs, then per client the presence draws,
+// the MinDegree top-up, and the per-present cost draws in ascending
+// facility order — so Generate(seed) and a NewStreamed build over
+// Stream(seed) produce the same instance bit for bit.
+func (u Uniform) Stream(seed int64, fac func(int, int64) error, edge func(int, int, int64) error) error {
+	u = u.defaults()
+	if u.M <= 0 || u.NC <= 0 {
+		return fmt.Errorf("gen: uniform needs positive sizes, got m=%d nc=%d", u.M, u.NC)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < u.M; i++ {
+		if err := fac(i, randCost(rng, u.FacCostMin, u.FacCostMax)); err != nil {
+			return err
+		}
+	}
+	present := make([]bool, u.M) // reused per client; resetting draws nothing
+	for j := 0; j < u.NC; j++ {
+		deg := 0
+		for i := 0; i < u.M; i++ {
+			present[i] = rng.Float64() < u.Density
+			if present[i] {
+				deg++
+			}
+		}
+		for deg < u.MinDegree && deg < u.M {
+			i := rng.Intn(u.M)
+			if !present[i] {
+				present[i] = true
+				deg++
+			}
+		}
+		for i := 0; i < u.M; i++ {
+			if !present[i] {
+				continue
+			}
+			if err := edge(i, j, randCost(rng, u.EdgeCostMin, u.EdgeCostMax)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamName implements Streamer.
+func (s Spread) StreamName(seed int64) string {
+	return fmt.Sprintf("spread-m%d-nc%d-rho%d-s%d", s.M, s.NC, s.Rho, seed)
+}
+
+// Stream implements Streamer, replaying Generate's draw sequence exactly —
+// including the post-hoc pinning of the first two edges to costs 1 and Rho
+// (by global edge ordinal), which Generate applies after materializing.
+func (s Spread) Stream(seed int64, fac func(int, int64) error, edge func(int, int, int64) error) error {
+	if s.M <= 0 || s.NC <= 0 {
+		return fmt.Errorf("gen: spread needs positive sizes, got m=%d nc=%d", s.M, s.NC)
+	}
+	if s.Rho < 1 {
+		return fmt.Errorf("gen: spread needs rho >= 1, got %d", s.Rho)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < s.M; i++ {
+		if err := fac(i, logUniform(rng, maxI64(1, s.Rho/10), s.Rho)); err != nil {
+			return err
+		}
+	}
+	total := s.M * s.NC
+	ord := 0
+	for j := 0; j < s.NC; j++ {
+		for i := 0; i < s.M; i++ {
+			c := logUniform(rng, 1, s.Rho)
+			// Pin the extremes so the realized spread equals Rho exactly
+			// (the draws still happen, keeping the stream aligned with the
+			// materializing generator).
+			if total >= 2 {
+				if ord == 0 {
+					c = 1
+				} else if ord == 1 {
+					c = s.Rho
+				}
+			}
+			if err := edge(i, j, c); err != nil {
+				return err
+			}
+			ord++
+		}
+	}
+	return nil
+}
+
+// Materialize builds the full in-memory instance of a Streamer via
+// fl.NewStreamed's two-pass CSR builder. It is how the streaming families
+// implement Generate, and the benchmark path for million-node instances:
+// no RawEdge list ever exists, so peak memory is the instance itself plus
+// O(m) scratch.
+func Materialize(s Streamer, m, nc int, seed int64) (*fl.Instance, error) {
+	return fl.NewStreamed(s.StreamName(seed), m, nc, func(fac func(int, int64) error, edge func(int, int, int64) error) error {
+		return s.Stream(seed, fac, edge)
+	})
+}

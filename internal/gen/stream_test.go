@@ -1,0 +1,73 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"dfl/internal/fl"
+)
+
+// TestStreamMatchesGenerate pins the Streamer contract: a NewStreamed build
+// over Stream must equal Generate's instance exactly (it is the same code
+// path now, but the test keeps any future split honest), and the stream
+// must replay identically call to call.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Streamer
+		m    int
+		nc   int
+	}{
+		{"uniform-dense", Uniform{M: 6, NC: 40}, 6, 40},
+		{"uniform-sparse", Uniform{M: 50, NC: 80, Density: 0.1, MinDegree: 2}, 50, 80},
+		{"spread", Spread{M: 5, NC: 30, Rho: 1000}, 5, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := tc.s.Generate(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Materialize(tc.s, tc.m, tc.nc, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			if err := fl.Write(&a, want); err != nil {
+				t.Fatal(err)
+			}
+			if err := fl.Write(&b, got); err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatal("streamed materialization differs from Generate")
+			}
+			if want.Name() != got.Name() {
+				t.Fatalf("names differ: %q vs %q", want.Name(), got.Name())
+			}
+		})
+	}
+}
+
+// TestStreamEdgeOrderIsClientMajor pins the CSR emission order the -stream
+// writer and NewStreamed's fill pass both depend on: edges arrive grouped
+// by client, clients ascending.
+func TestStreamEdgeOrderIsClientMajor(t *testing.T) {
+	u := Uniform{M: 8, NC: 30, Density: 0.4, MinDegree: 1}
+	lastClient := -1
+	err := u.Stream(3,
+		func(int, int64) error { return nil },
+		func(f, c int, cost int64) error {
+			if c < lastClient {
+				t.Fatalf("client order regressed: %d after %d", c, lastClient)
+			}
+			lastClient = c
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastClient != u.NC-1 {
+		t.Fatalf("stream ended at client %d, want %d (MinDegree guarantees every client edges)", lastClient, u.NC-1)
+	}
+}
