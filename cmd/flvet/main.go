@@ -1,22 +1,31 @@
 // Command flvet is the multichecker driver for the repo's custom static
-// analyzers (internal/analysis): detrand, maporder, congestmsg, poolonly,
-// failclosed, and hotmap — the compile-time-checked half of the simulator's
-// determinism, CONGEST, fail-closed wire, and memory-layout contracts.
-// `make lint`
-// (folded into `make check`) runs it over ./..., so every change is gated
-// on the suite.
+// analyzers (internal/analysis): the syntactic suite (detrand, maporder,
+// congestmsg, poolonly, failclosed, hotmap) plus the dataflow suite
+// (bitbudget, shardlocal, dettaint) — the compile-time-checked half of the
+// simulator's determinism, CONGEST bit-budget, shard-locality, fail-closed
+// wire, and memory-layout contracts. `make lint` (folded into `make
+// check`) runs it over ./..., so every change is gated on the suite.
 //
 // Usage:
 //
-//	flvet [-only name[,name]] [-list] [packages]
+//	flvet [-only name[,name]] [-list] [-format text|json|sarif|baseline] [-baseline file] [packages]
 //
 // Packages default to ./... resolved against the enclosing module root.
-// Exit status: 0 clean, 1 findings, 2 operational failure.
+// -format selects text (the default vet-style lines), json (a findings
+// array), sarif (SARIF 2.1.0 for GitHub code scanning), or baseline (the
+// suppression-file format). -baseline subtracts a committed suppression
+// file from the findings: grandfathered entries do not fail the run,
+// stale entries only warn.
+//
+// Exit status: 0 clean, 1 findings (after baseline subtraction), 2
+// operational failure. A package that fails to load or type-check is an
+// operational failure reported with its import path, never a finding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,11 +36,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("flvet", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzers and exit")
 	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	format := flags.String("format", "text", "output format: text, json, sarif, or baseline")
+	baselinePath := flags.String("baseline", "", "suppression file of grandfathered findings (analyzer<TAB>file<TAB>message lines)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -42,6 +53,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif", "baseline":
+	default:
+		fmt.Fprintf(stderr, "flvet: unknown -format %q (want text, json, sarif, or baseline)\n", *format)
+		return 2
 	}
 	if *only != "" {
 		byName := map[string]*analysis.Analyzer{}
@@ -56,6 +73,21 @@ func run(args []string, stdout, stderr *os.File) int {
 				return 2
 			}
 			suite = append(suite, a)
+		}
+	}
+
+	var baseline analysis.Baseline
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "flvet: %v\n", err)
+			return 2
+		}
+		baseline, err = analysis.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "flvet: baseline %s: %v\n", *baselinePath, err)
+			return 2
 		}
 	}
 
@@ -74,15 +106,35 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings := 0
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analysis.RunAnalyzers(pkg, suite) {
-			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
-			findings++
-		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, suite)...)
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "flvet: %d finding(s)\n", findings)
+	findings := analysis.Findings(diags, root)
+	stale := []string(nil)
+	if baseline != nil {
+		findings, stale = baseline.Filter(findings)
+	}
+
+	switch *format {
+	case "text":
+		err = analysis.WriteText(stdout, findings)
+	case "json":
+		err = analysis.WriteJSON(stdout, findings)
+	case "sarif":
+		err = analysis.WriteSARIF(stdout, findings, suite)
+	case "baseline":
+		err = analysis.WriteBaseline(stdout, findings)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "flvet: %v\n", err)
+		return 2
+	}
+	for _, s := range stale {
+		fmt.Fprintf(stderr, "flvet: stale baseline entry (fixed? remove it): %s\n", strings.ReplaceAll(s, "\t", " | "))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "flvet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

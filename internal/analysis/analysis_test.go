@@ -12,6 +12,9 @@ func TestCongestmsgGolden(t *testing.T) { RunGolden(t, Congestmsg, "congestmsg")
 func TestPoolonlyGolden(t *testing.T)   { RunGolden(t, Poolonly, "poolonly") }
 func TestFailclosedGolden(t *testing.T) { RunGolden(t, Failclosed, "failclosed") }
 func TestHotmapGolden(t *testing.T)     { RunGolden(t, Hotmap, "hotmap") }
+func TestBitbudgetGolden(t *testing.T)  { RunGolden(t, Bitbudget, "bitbudget") }
+func TestShardlocalGolden(t *testing.T) { RunGolden(t, Shardlocal, "shardlocal") }
+func TestDettaintGolden(t *testing.T)   { RunGolden(t, Dettaint, "dettaint") }
 
 func TestSuiteMetadata(t *testing.T) {
 	seen := map[string]bool{}

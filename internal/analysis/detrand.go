@@ -36,6 +36,16 @@ var clockFuncs = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
+// hostFuncs are per-host queries that have leaked into benchmark knobs
+// before: scheduler census, core count, and environment reads all vary
+// across machines and runs. runtime.GOMAXPROCS stays allowed — the engine
+// uses it only to pick a worker count, which invariant I5 guarantees is
+// output-invisible.
+var hostFuncs = map[string]map[string]bool{
+	"runtime": {"NumGoroutine": true, "NumCPU": true},
+	"os":      {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
 func runDetrand(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -59,6 +69,12 @@ func runDetrand(pass *Pass) {
 					if clockFuncs[fn.Name()] {
 						if _, exempt := pass.directiveAt(n.Pos(), "nondet"); !exempt {
 							pass.Reportf(n.Pos(), "call to time.%s: wall-clock input breaks seeded reproducibility", fn.Name())
+						}
+					}
+				case "runtime", "os":
+					if hostFuncs[fn.Pkg().Path()][fn.Name()] {
+						if _, exempt := pass.directiveAt(n.Pos(), "nondet"); !exempt {
+							pass.Reportf(n.Pos(), "call to %s.%s: per-host input breaks seeded reproducibility", fn.Pkg().Path(), fn.Name())
 						}
 					}
 				}

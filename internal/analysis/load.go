@@ -35,11 +35,26 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
+// LoadError is an operational failure pinned to one package: the listing,
+// compile, or type check of that package failed. Drivers distinguish it
+// from analyzer findings (exit 2, not 1) and report the package.
+type LoadError struct {
+	ImportPath string
+	Reason     string
+}
+
+func (e *LoadError) Error() string {
+	return "load " + e.ImportPath + ": " + e.Reason
+}
+
 // Load resolves patterns (as the go tool would, relative to dir) and
 // type-checks every matched package from source. Imports — including the
 // standard library — are satisfied from compiler export data produced by
 // `go list -export`, which keeps the loader free of external dependencies:
 // the x/tools packages loader is not available in this module.
+//
+// A package that fails to list, compile, or type-check aborts the run with
+// a *LoadError naming it, so multi-package runs say which target broke.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -73,7 +88,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		for _, name := range lp.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("parse %s: %w", name, err)
+				return nil, &LoadError{ImportPath: lp.ImportPath, Reason: fmt.Sprintf("parse %s: %v", name, err)}
 			}
 			files = append(files, f)
 		}
@@ -87,7 +102,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+			return nil, &LoadError{ImportPath: lp.ImportPath, Reason: fmt.Sprintf("typecheck: %v", err)}
 		}
 		pkgs = append(pkgs, &Package{
 			ImportPath: lp.ImportPath,
@@ -103,9 +118,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // goList shells out for package metadata plus compiled export data. -deps
 // pulls in every transitive import so the lookup importer can resolve the
-// full graph; targets are told apart by DepOnly.
+// full graph; targets are told apart by DepOnly. -e keeps one broken
+// package from truncating the listing, so the caller can name it.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -124,7 +140,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 			return nil, fmt.Errorf("decode go list output: %w", err)
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, &LoadError{ImportPath: lp.ImportPath, Reason: lp.Error.Err}
 		}
 		listed = append(listed, lp)
 	}

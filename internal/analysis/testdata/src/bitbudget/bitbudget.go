@@ -1,0 +1,106 @@
+// Package bitbudget seeds violations (and legitimate encoder shapes) for
+// the bitbudget analyzer's golden test.
+package bitbudget
+
+import "encoding/binary"
+
+const kindA = 0x01
+
+// goodVarint is the canonical shape: reset, kind byte, one varint.
+// 1 + 10 bytes = 88 bits.
+//
+//flvet:encoder maxbits=88
+func goodVarint(buf []byte, v int64) []byte {
+	buf = append(buf[:0], kindA)
+	buf = binary.AppendVarint(buf, v)
+	return buf
+}
+
+// goodHelper delegates to a package-local helper; the call-graph summary
+// carries the helper's +3 bound back: (0 + 3 + 10) bytes = 104 bits.
+//
+//flvet:encoder maxbits=104
+func goodHelper(buf []byte, v uint64) []byte {
+	buf = buf[:0]
+	buf = appendHeader(buf)
+	buf = binary.AppendUvarint(buf, v)
+	return buf
+}
+
+func appendHeader(buf []byte) []byte {
+	return append(buf, kindA, 0x00, 0xff)
+}
+
+// goodBranch joins control-flow paths at their maximum: 4 bytes = 32 bits.
+//
+//flvet:encoder maxbits=32
+func goodBranch(buf []byte, wide bool) []byte {
+	buf = buf[:0]
+	if wide {
+		buf = append(buf, 1, 2, 3, 4)
+	} else {
+		buf = append(buf, 1)
+	}
+	return buf
+}
+
+// goodFixed returns a constant-size literal: 2 bytes = 16 bits.
+//
+//flvet:encoder maxbits=16
+func goodFixed(status byte) []byte {
+	return []byte{kindA, status}
+}
+
+// overBudget is structurally bounded but exceeds its declared budget:
+// 1 + 10 + 10 bytes = 168 bits > 88.
+//
+//flvet:encoder maxbits=88
+func overBudget(buf []byte, a, b int64) []byte {
+	buf = append(buf[:0], kindA)
+	buf = binary.AppendVarint(buf, a)
+	buf = binary.AppendVarint(buf, b)
+	return buf // want `payload can reach 168 bits, exceeding declared maxbits=88`
+}
+
+// loopGrowth appends inside a loop with no static trip bound.
+//
+//flvet:encoder maxbits=88
+func loopGrowth(buf []byte, vals []int64) []byte {
+	buf = buf[:0]
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v) // want `append to buf inside a loop grows the payload unboundedly`
+	}
+	return buf
+}
+
+// unboundedArg splices a caller-controlled slice of unknown length.
+//
+//flvet:encoder maxbits=88
+func unboundedArg(buf, extra []byte) []byte {
+	buf = append(buf[:0], kindA)
+	buf = append(buf, extra...) // want `buf is assigned a value with no static size bound`
+	return buf
+}
+
+// runtimeMake sizes its scratch buffer at run time.
+//
+//flvet:encoder maxbits=88
+func runtimeMake(buf []byte, n int) []byte {
+	tmp := make([]byte, n) // want `tmp is assigned a value with no static size bound`
+	copy(tmp, buf)
+	return append(buf[:0], tmp...)
+}
+
+// escaped shows the //flvet:bounded escape: the loop is unbounded to the
+// analyzer, but the caller contract caps the trip count, and the one
+// annotation covers the blessed value through to the return.
+//
+//flvet:encoder maxbits=88
+func escaped(buf []byte, quads []uint32) []byte {
+	buf = append(buf[:0], kindA)
+	for _, q := range quads {
+		//flvet:bounded callers pass at most 2 quads: 1 + 2*5 bytes = 88 bits
+		buf = binary.AppendUvarint(buf, uint64(q))
+	}
+	return buf
+}

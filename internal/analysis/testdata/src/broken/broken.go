@@ -1,0 +1,7 @@
+// Package broken deliberately fails type checking: the cmd/flvet
+// regression test asserts a loader failure in a multi-package run names
+// this package and exits with status 2 (operational error), not 1
+// (findings).
+package broken
+
+func oops() int { return "not an int" }

@@ -4,6 +4,8 @@ package detrand
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 )
 
@@ -24,6 +26,16 @@ func clocks() {
 	_ = 3 * time.Second                // duration arithmetic: allowed
 	//flvet:nondet timestamp feeds a log line only, never protocol state
 	_ = time.Now() // exempted by the directive above
+}
+
+func hosts() {
+	_ = runtime.NumCPU()       // want `runtime\.NumCPU: per-host input`
+	_ = runtime.NumGoroutine() // want `runtime\.NumGoroutine: per-host input`
+	_ = os.Getenv("DFL_DEBUG") // want `os\.Getenv: per-host input`
+	_, _ = os.LookupEnv("X")   // want `os\.LookupEnv: per-host input`
+	_ = runtime.GOMAXPROCS(0)  // worker-count sizing: I5 keeps output shard-count-invariant
+	//flvet:nondet debug toggle only, never protocol state
+	_ = os.Getenv("DFL_TRACE") // exempted by the directive above
 }
 
 func selects(ch1, ch2 chan int) {

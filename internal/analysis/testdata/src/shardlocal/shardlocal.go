@@ -1,0 +1,81 @@
+// Package shardlocal seeds violations (and legitimate shard-owned writes)
+// for the shardlocal analyzer's golden test. The pool mirrors the engine's
+// shardPool shape: shared id-indexed slices plus per-shard private state.
+package shardlocal
+
+type message struct{ To int }
+
+type state struct {
+	members []int
+	outbox  [][]message
+	count   int
+}
+
+type pool struct {
+	halted  []bool
+	inboxes [][]message
+	shards  []*state
+	round   int
+}
+
+// worker is the compute-phase entry: everything reachable from here may
+// only write shard-w-owned state.
+//
+//flvet:shardworker
+func (p *pool) worker(w int) {
+	s := p.shards[w] // indexing a pool field with the own index: local handle
+	for _, id := range s.members {
+		p.halted[id] = false // member ids index shard-owned ranges: allowed
+	}
+	s.count++                 // write through the local handle: allowed
+	s.outbox[0] = s.outbox[0][:0] // local handle: any index is fine
+	scratch := make([]int, 4)
+	scratch[3] = w // plain local state: allowed
+
+	other := w + 1
+	p.halted[other] = true    // want `write to p\.halted indexed by other, which is not provably in this worker's shard`
+	p.shards[other].count = 0 // want `write through p\.shards\[other\], which may reference another shard's state`
+	p.round = 1               // want `write to shared pool state p\.round`
+	for _, t := range p.shards {
+		t.count++ // want `write through t, which may reference another shard's state`
+	}
+
+	p.helper(w)     // own index crosses the call boundary
+	p.sneaky(other) // non-local index crosses the call boundary
+
+	q := p.shards[other]
+	q.reset() // foreign handle crosses the call boundary
+
+	p.merge(w)
+
+	//flvet:shardlocal scheduling beacon, torn reads tolerated by design
+	p.round = 2 // escaped by the directive above
+}
+
+// helper inherits the own-index fact from its call site, so its pool write
+// is provably local.
+func (p *pool) helper(w int) {
+	p.halted[w] = true // allowed: w is the caller's own shard index
+}
+
+// sneaky receives an index with no locality proof.
+func (p *pool) sneaky(i int) {
+	p.inboxes[i] = nil // want `write to p\.inboxes indexed by i, which is not provably in this worker's shard`
+}
+
+// reset writes through its receiver; flagged only because its one call
+// site passes another shard's state.
+func (s *state) reset() {
+	s.count = 0 // want `write through s, which may reference another shard's state`
+}
+
+// merge is the blessed cross-shard phase.
+//
+//flvet:merge drains every shard's outbox after the barrier
+func (p *pool) merge(w int) {
+	for _, s := range p.shards {
+		for _, m := range s.outbox[w] {
+			p.inboxes[m.To] = append(p.inboxes[m.To], m)
+		}
+	}
+}

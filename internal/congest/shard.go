@@ -151,6 +151,11 @@ func (p *shardPool) collect(st *Stats) {
 // in flight).
 func (p *shardPool) stop() { close(p.start) }
 
+// worker is the per-shard compute loop: everything reachable from here
+// (between the start token and the mid barrier) may only write state owned
+// by shard w — flvet's shardlocal analyzer enforces that statically.
+//
+//flvet:shardworker
 func (p *shardPool) worker(w int) {
 	s := p.shards[w]
 	for range p.start { // one token per round; exits when stop closes the channel
@@ -208,6 +213,8 @@ func (p *shardPool) anyErr() bool {
 // ascending sender id, and delivers into its own members' inboxes. Only
 // shard-owned state is written, so ingest runs with no locks and no
 // false sharing with other workers.
+//
+//flvet:merge reads every shard's outbox stream after the mid barrier published it; writes only shard-w-owned inboxes and counters
 func (p *shardPool) ingest(s *shardState, w int) {
 	for _, id := range s.members {
 		p.inboxes[id] = p.inboxes[id][:0]

@@ -167,6 +167,7 @@ func (s *sumNode) Round(r int, inbox []Message) bool {
 	// after adoption: children adopt at +1, their ADOPT arrives at +2).
 	if s.adopted && !s.sentSum && r >= s.adoptedAt+2 && len(s.childSums) == len(s.children) {
 		total := s.value
+		//flvet:ordered integer addition commutes; the sum is identical for every visit order
 		for _, cs := range s.childSums {
 			total += cs
 		}

@@ -24,6 +24,11 @@ type PayloadSpec struct {
 	MaxBits int
 }
 
+// payloadRegistry is written only by RegisterPayload calls made from the
+// payload-defining packages' init functions; after package initialization
+// it is read-only, so reads cannot observe nondeterministic state.
+//
+//flvet:frozen written only during package init via RegisterPayload
 var payloadRegistry = map[byte]PayloadSpec{}
 
 // RegisterPayload records a wire kind with its size bound. Registration

@@ -72,6 +72,7 @@ func encodeOffer(buf []byte, class, fine int, prio uint32) []byte {
 	buf = binary.AppendUvarint(buf, uint64(class))
 	buf = binary.AppendUvarint(buf, uint64(fine))
 	buf = binary.AppendUvarint(buf, uint64(prio))
+	//flvet:bounded class is O(sqrt K) (3-byte uvarint), fine <= 64 (1 byte), prio is 32 bits (5 bytes): 1+3+1+5 bytes = 80 bits
 	return buf
 }
 
