@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet lint sarif test test-race bench bench-engine perf-smoke results quick-results examples clean
+.PHONY: all build check vet lint sarif test test-race bench bench-engine perf-smoke soak results quick-results examples clean
 
 all: build check
 
@@ -59,6 +59,14 @@ bench-engine:
 perf-smoke:
 	go run ./cmd/flbench -quick -exp E13,E16 -maxallocs 192
 
+# Churn soak over the real UDP transport: build the fleet binaries, then
+# run flnode fleets on loopback for 15s with 10% packet loss and one
+# SIGKILLed shard per deployment, certifying every assembled result.
+# Exits nonzero on any hang, assembly failure, or certification failure.
+soak:
+	go build -o bin/ ./cmd/flnode ./cmd/flsoak
+	./bin/flsoak -duration 15s -chaos loss=0.1 -kill 1
+
 # Regenerate every table and figure (full size, ~15s) into results/.
 results:
 	go run ./cmd/flbench -out results
@@ -74,4 +82,4 @@ examples:
 	go run ./examples/lossy
 
 clean:
-	rm -rf results test_output.txt bench_output.txt flvet.sarif
+	rm -rf results bin test_output.txt bench_output.txt flvet.sarif

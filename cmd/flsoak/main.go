@@ -1,0 +1,273 @@
+// Command flsoak is the long-running churn harness for the UDP transport:
+// it repeatedly deploys the protocol as a local flnode fleet on loopback,
+// injects real packet chaos on every shard's socket, SIGKILLs a shard
+// mid-run, and asserts the certifier invariant after every deployment —
+// every honest servable client is certified-served or reported as a
+// certified exemption. Any run that hangs, fails to assemble or fails
+// certification exits nonzero.
+//
+//	flsoak -duration 15s -chaos loss=0.1 -kill 1
+//
+// The harness hosts the gateway in-process (so it can schedule kills by
+// round and certify fragments directly) and execs the flnode binary for
+// the shard fleet; -flnode overrides discovery (sibling of the flsoak
+// binary, then $PATH).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dfl/internal/congest"
+	"dfl/internal/core"
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+	"dfl/internal/transport/udp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flsoak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flsoak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		duration   = fs.Duration("duration", 15*time.Second, "keep launching deployments until this much time has passed")
+		shards     = fs.Int("shards", 3, "shard processes per deployment")
+		m          = fs.Int("m", 12, "facilities per generated instance")
+		nc         = fs.Int("nc", 48, "clients per generated instance")
+		k          = fs.Int("k", 16, "protocol trade-off parameter")
+		seed       = fs.Int64("seed", 1, "base seed (instance i uses seed+i)")
+		chaosSpec  = fs.String("chaos", "loss=0.1", "packet chaos per shard socket ('' disables)")
+		kills      = fs.Int("kill", 1, "shards to SIGKILL per deployment (capped at shards-1)")
+		roundDelay = fs.Duration("round-delay", 15*time.Millisecond, "per-round pause on shards, widens the kill window")
+		flnodeBin  = fs.String("flnode", "", "path to the flnode binary (default: sibling of flsoak, then $PATH)")
+		runTimeout = fs.Duration("run-timeout", 2*time.Minute, "watchdog per deployment; tripping it is a hang and fails the soak")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bin, err := findFlnode(*flnodeBin)
+	if err != nil {
+		return err
+	}
+	if *kills >= *shards {
+		*kills = *shards - 1
+	}
+	start := time.Now()
+	runs, killed, failures := 0, 0, 0
+	for time.Since(start) < *duration {
+		res, err := soakOnce(stdout, bin, runCfg{
+			run: runs, shards: *shards, m: *m, nc: *nc, k: *k,
+			seed: *seed + int64(runs), chaos: *chaosSpec, kills: *kills,
+			roundDelay: *roundDelay, timeout: *runTimeout,
+		})
+		runs++
+		killed += res.killed
+		if err != nil {
+			failures++
+			fmt.Fprintf(stdout, "run %d: FAIL: %v\n", runs-1, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "run %d: certified cost=%d rounds=%d kills=%d down=%v dead_clients=%d orphaned=%d unservable=%d\n",
+			runs-1, res.rep.Cost, res.rounds, res.killed, res.down,
+			len(res.rep.DeadClients), len(res.rep.OrphanedClients), len(res.rep.UnservableClients))
+	}
+	fmt.Fprintf(stdout, "soak: %d runs, %d kills, %d failures in %v\n", runs, killed, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return fmt.Errorf("%d of %d runs failed the certifier invariant", failures, runs)
+	}
+	if runs == 0 {
+		return fmt.Errorf("no deployment completed within %v", *duration)
+	}
+	return nil
+}
+
+type runCfg struct {
+	run, shards, m, nc, k, kills int
+	seed                         int64
+	chaos                        string
+	roundDelay                   time.Duration
+	timeout                      time.Duration
+}
+
+type runResult struct {
+	rep    *core.Report
+	rounds int
+	killed int
+	down   []int
+}
+
+// soakOnce executes one deployment: generate an instance, host the
+// gateway, exec the shard fleet, kill victims mid-run, assemble, certify.
+func soakOnce(stdout io.Writer, bin string, c runCfg) (runResult, error) {
+	inst, err := gen.Uniform{M: c.m, NC: c.nc, Density: 0.5, MinDegree: 2}.Generate(c.seed)
+	if err != nil {
+		return runResult{}, err
+	}
+	d, err := core.Derive(inst, core.Config{K: c.k})
+	if err != nil {
+		return runResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "flsoak")
+	if err != nil {
+		return runResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	instFile := filepath.Join(dir, "instance.ufl")
+	f, err := os.Create(instFile)
+	if err != nil {
+		return runResult{}, err
+	}
+	if err := fl.Write(f, inst); err != nil {
+		f.Close()
+		return runResult{}, err
+	}
+	f.Close()
+
+	spans := congest.SplitSpans(c.m+c.nc, c.shards)
+	gw, err := udp.NewGateway("127.0.0.1:0", spans, udp.Config{})
+	if err != nil {
+		return runResult{}, err
+	}
+	defer gw.Close()
+
+	// Kill schedule: each victim dies at a random round inside the phase
+	// sweep, so deaths land while state is still being negotiated.
+	rng := rand.New(rand.NewSource(c.seed))
+	killAt := make(map[int]int) // round -> shard
+	for v := 0; v < c.kills; v++ {
+		victim := (c.run + v) % c.shards
+		round := 2 + rng.Intn(max(d.ProtoRounds-2, 1))
+		killAt[round] = victim
+	}
+
+	procs := make([]*exec.Cmd, c.shards)
+	var procMu sync.Mutex
+	killedCount := 0
+	gw.OnRound = func(round int, down []bool) {
+		victim, ok := killAt[round]
+		if !ok {
+			return
+		}
+		procMu.Lock()
+		defer procMu.Unlock()
+		if p := procs[victim]; p != nil && p.Process != nil {
+			if err := p.Process.Kill(); err == nil {
+				killedCount++
+				fmt.Fprintf(stdout, "run %d: SIGKILL shard %d at round %d\n", c.run, victim, round)
+			}
+		}
+	}
+
+	for i := 0; i < c.shards; i++ {
+		cmd := exec.Command(bin,
+			"-role", "shard",
+			"-id", fmt.Sprint(i),
+			"-shards", fmt.Sprint(c.shards),
+			"-gateway", gw.Addr(),
+			"-in", instFile,
+			"-k", fmt.Sprint(c.k),
+			"-seed", fmt.Sprint(c.seed),
+			"-chaos", shardChaos(c.chaos, c.seed, i),
+			"-round-delay", c.roundDelay.String(),
+		)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			reap(procs)
+			return runResult{}, fmt.Errorf("start shard %d: %w", i, err)
+		}
+		procMu.Lock()
+		procs[i] = cmd
+		procMu.Unlock()
+	}
+	defer reap(procs)
+
+	// Watchdog: a hang is a failure, never a stuck CI job.
+	watchdog := time.AfterFunc(c.timeout, func() {
+		procMu.Lock()
+		defer procMu.Unlock()
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		gw.Close()
+	})
+	defer watchdog.Stop()
+
+	res, err := gw.Run(d.TotalRounds + 8)
+	if err != nil {
+		return runResult{killed: killedCount}, fmt.Errorf("gateway: %w", err)
+	}
+	frags := make([]*core.Fragment, c.shards)
+	var downIDs []int
+	for i, p := range res.Fragments {
+		if p == nil {
+			downIDs = append(downIDs, i)
+			continue
+		}
+		frag, err := core.DecodeFragment(p, inst.M(), inst.NC())
+		if err != nil {
+			return runResult{killed: killedCount}, fmt.Errorf("shard %d fragment: %w", i, err)
+		}
+		frags[i] = frag
+	}
+	// Assemble certifies internally: this is the soak invariant — every
+	// honest servable client served or exempt, no matter what the chaos
+	// and the kills did.
+	_, rep, err := core.Assemble(inst, core.Config{K: c.k}, frags)
+	if err != nil {
+		return runResult{killed: killedCount}, err
+	}
+	return runResult{rep: rep, rounds: res.Rounds, killed: killedCount, down: downIDs}, nil
+}
+
+// shardChaos gives each shard a distinct chaos seed so fleets don't drop
+// packets in lockstep.
+func shardChaos(spec string, seed int64, shard int) string {
+	if spec == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s,seed=%d", spec, seed*31+int64(shard)+1)
+}
+
+func reap(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		if p.Process != nil {
+			p.Process.Kill()
+		}
+		p.Wait()
+	}
+}
+
+func findFlnode(flagVal string) (string, error) {
+	if flagVal != "" {
+		return flagVal, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "flnode")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath("flnode"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("flnode binary not found: build it next to flsoak (make soak) or pass -flnode")
+}

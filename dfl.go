@@ -146,6 +146,58 @@ var (
 // value injects nothing. See the congest package for field semantics.
 type FaultSchedule = congest.Faults
 
+// Distributed deployment across real processes (see internal/congest's
+// Transport seam and cmd/flnode for the UDP fleet built on it).
+type (
+	// Transport carries one shard's per-round message traffic; implement it
+	// to run the protocol over a real network (cmd/flnode's UDP backend) or
+	// use NewChanNetwork for an in-process reference deployment.
+	Transport = congest.Transport
+	// Span is one shard's contiguous range of node ids.
+	Span = congest.Span
+	// Fragment is one shard's share of a distributed run: span-local node
+	// state plus network stats, with a compact wire codec (Encode /
+	// DecodeShardFragment).
+	Fragment = core.Fragment
+	// LinkDownError reports a link whose delivery retry budget was
+	// exhausted: which peer, which round, how many attempts were made. The
+	// reliable-delivery shim and the UDP backend both surface it (see the
+	// congest package's Config.OnLinkDown).
+	LinkDownError = congest.LinkDownError
+)
+
+// SplitSpans partitions n protocol nodes into k contiguous shard spans as
+// evenly as possible.
+func SplitSpans(n, k int) []Span { return congest.SplitSpans(n, k) }
+
+// NewChanNetwork builds the in-process reference Transport: k shards over
+// n nodes exchanging messages through channels with a strict round barrier.
+func NewChanNetwork(n int, spans []Span) (*congest.ChanNetwork, error) {
+	return congest.NewChanNetwork(n, spans)
+}
+
+// SolveShard runs one shard's share of the distributed algorithm over the
+// given transport; every party must agree on the instance, configuration,
+// span partition, and seed. A fault-free deployment assembles to exactly
+// the SolveDistributed solution for the same instance and seed.
+func SolveShard(inst *Instance, cfg DistConfig, span Span, seed int64, tr Transport) (*Fragment, error) {
+	return core.SolveShard(inst, cfg, span, seed, tr)
+}
+
+// DecodeShardFragment parses a fragment's wire bytes (fail-closed) for an
+// instance with m facilities and nc clients.
+func DecodeShardFragment(p []byte, m, nc int) (*Fragment, error) {
+	return core.DecodeFragment(p, m, nc)
+}
+
+// AssembleShards combines per-shard fragments into a certified solution.
+// A nil fragment marks a shard that died: its nodes are masked like
+// crashed nodes and surviving clients assigned into the lost span are
+// exempted as orphaned. The result is certified before being returned.
+func AssembleShards(inst *Instance, cfg DistConfig, frags []*Fragment) (*Solution, *DistReport, error) {
+	return core.Assemble(inst, cfg, frags)
+}
+
 // Certify independently validates a distributed run's solution against
 // its report: feasibility modulo the report's dead/unservable exemptions,
 // plus recomputed cost and open-facility accounting. SolveDistributed

@@ -2,6 +2,7 @@ package dfl_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"dfl"
@@ -162,5 +163,60 @@ func TestPublicAPIConstructors(t *testing.T) {
 	}
 	if _, err := dfl.GeneratorByName("bogus", 5, 10); err == nil {
 		t.Fatal("unknown family should fail")
+	}
+}
+
+// TestPublicAPISharded drives the distributed-deployment surface: solve an
+// instance shard-by-shard over the in-process reference transport, round-
+// trip each fragment through its wire codec, assemble, and compare against
+// the single-process solver on the same seed.
+func TestPublicAPISharded(t *testing.T) {
+	inst, err := dfl.Uniform{M: 8, NC: 32}.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dfl.DistConfig{K: 8}
+	want, _, err := dfl.SolveDistributed(inst, cfg, dfl.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 3
+	n := inst.M() + inst.NC()
+	spans := dfl.SplitSpans(n, k)
+	net, err := dfl.NewChanNetwork(n, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := make([]*dfl.Fragment, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			frag, err := dfl.SolveShard(inst, cfg, spans[i], 3, net.Shard(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			frags[i], errs[i] = dfl.DecodeShardFragment(frag.Encode(nil), inst.M(), inst.NC())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	sol, rep, err := dfl.AssembleShards(inst, cfg, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost(inst) != want.Cost(inst) {
+		t.Fatalf("sharded cost %d != single-process %d", sol.Cost(inst), want.Cost(inst))
+	}
+	if err := dfl.Certify(inst, sol, rep); err != nil {
+		t.Fatal(err)
 	}
 }

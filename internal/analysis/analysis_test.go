@@ -16,6 +16,19 @@ func TestBitbudgetGolden(t *testing.T)  { RunGolden(t, Bitbudget, "bitbudget") }
 func TestShardlocalGolden(t *testing.T) { RunGolden(t, Shardlocal, "shardlocal") }
 func TestDettaintGolden(t *testing.T)   { RunGolden(t, Dettaint, "dettaint") }
 
+// The transport boundary goldens pin both halves of //flvet:transport: a
+// package under a transport/ path is exempt wholesale, and any other
+// package claiming the boundary gets the directive itself reported while
+// checking continues.
+func TestDetrandTransportGolden(t *testing.T)  { RunGolden(t, Detrand, "transportclean") }
+func TestDettaintTransportGolden(t *testing.T) { RunGolden(t, Dettaint, "transportclean") }
+func TestDetrandBoundaryMisuseGolden(t *testing.T) {
+	RunGolden(t, Detrand, "boundarymisuse")
+}
+func TestDettaintBoundaryMisuseGolden(t *testing.T) {
+	RunGolden(t, Dettaint, "boundarymisusetaint")
+}
+
 func TestSuiteMetadata(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range All() {

@@ -12,11 +12,13 @@ import (
 // from the seeded *rand.Rand the engine plumbs through Env.Rand()/Config —
 // that is the entire basis of the byte-identical sequential/parallel
 // equivalence. Exempt a call with //flvet:nondet (same line or line above)
-// only when its result provably never reaches protocol state.
+// only when its result provably never reaches protocol state; a transport
+// adapter package exempts itself wholesale with a package-doc
+// //flvet:transport boundary (see transportBoundary).
 var Detrand = &Analyzer{
 	Name:     "detrand",
 	Doc:      "forbid unseeded randomness, wall-clock reads, and racy selects in protocol packages",
-	Packages: protocolPackages,
+	Packages: transportScopedPackages,
 	Run:      runDetrand,
 }
 
@@ -47,6 +49,9 @@ var hostFuncs = map[string]map[string]bool{
 }
 
 func runDetrand(pass *Pass) {
+	if transportBoundary(pass) {
+		return
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {

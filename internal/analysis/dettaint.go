@@ -29,7 +29,7 @@ import (
 var Dettaint = &Analyzer{
 	Name:     "dettaint",
 	Doc:      "forbid nondeterministic values (clock, env, map order, mutable globals) from reaching the wire, RNG seeds, or per-round state",
-	Packages: protocolPackages,
+	Packages: transportScopedPackages,
 	Run:      runDettaint,
 }
 
@@ -97,6 +97,9 @@ type dettaintCtx struct {
 }
 
 func runDettaint(pass *Pass) {
+	if transportBoundary(pass) {
+		return
+	}
 	cx := &dettaintCtx{
 		pass:      pass,
 		cg:        buildCallGraph(pass),

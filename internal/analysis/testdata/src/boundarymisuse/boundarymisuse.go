@@ -1,0 +1,13 @@
+// Package boundarymisuse claims the transport boundary from a package
+// whose import path does not contain "transport": the directive itself is
+// the finding, and it exempts nothing — the nondeterminism below is still
+// reported.
+//
+//flvet:transport nice try // want `only transport adapter packages .* may declare the nondeterminism boundary`
+package boundarymisuse
+
+import "time"
+
+func clock() {
+	_ = time.Now() // want `time\.Now: wall-clock`
+}

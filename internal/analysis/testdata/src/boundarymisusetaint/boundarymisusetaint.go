@@ -1,0 +1,16 @@
+// Package boundarymisusetaint is the dettaint side of the boundary-misuse
+// golden: a non-transport package claiming the transport boundary gets the
+// directive reported and keeps full taint checking.
+//
+//flvet:transport nope // want `only transport adapter packages .* may declare the nondeterminism boundary`
+package boundarymisusetaint
+
+import "time"
+
+type config struct {
+	Seed int64
+}
+
+func clockSeed() config {
+	return config{Seed: time.Now().UnixNano()} // want `wall-clock read time\.Now flows into seed field Seed`
+}

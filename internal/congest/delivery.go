@@ -71,6 +71,9 @@ type delivery struct {
 	// delayed holds messages and frames in flight past their send round.
 	delayed []delayedMsg
 	shim    *reliShim
+	// onLinkDown receives the typed per-link report when the shim abandons
+	// a frame with its retry budget exhausted (Config.OnLinkDown).
+	onLinkDown func(LinkDownError)
 }
 
 // delayedMsg is one in-flight unit: either a plain message (payload owned
@@ -82,7 +85,7 @@ type delayedMsg struct {
 	f   *frame // non-nil when the unit is a shim frame
 }
 
-func newDelivery(faults *Faults, g *Graph, bitLimit int, rel Reliable, rng *rand.Rand, halted, crashed []bool, inboxes [][]Message, stats *Stats, observe bool) *delivery {
+func newDelivery(faults *Faults, g *Graph, bitLimit int, rel Reliable, rng *rand.Rand, halted, crashed []bool, inboxes [][]Message, stats *Stats, observe bool, onLinkDown func(LinkDownError)) *delivery {
 	n := g.N()
 	d := &delivery{
 		faults:      faults,
@@ -96,6 +99,7 @@ func newDelivery(faults *Faults, g *Graph, bitLimit int, rel Reliable, rng *rand
 		stats:       stats,
 		observe:     observe,
 		checkFrames: faults.CorruptProb > 0 || len(faults.ByzantineFromRound) > 0,
+		onLinkDown:  onLinkDown,
 	}
 	if len(faults.ByzantineFromRound) > 0 {
 		d.byzFrom = make([]int, n)
@@ -113,7 +117,7 @@ func newDelivery(faults *Faults, g *Graph, bitLimit int, rel Reliable, rng *rand
 			n:       n,
 			budget:  rel.RetryBudget,
 			nextSeq: make(map[uint64]uint64),
-			recvWin: make(map[uint64]*seqWindow),
+			recvWin: make(map[uint64]*SeqWindow),
 		}
 	}
 	return d
@@ -311,7 +315,7 @@ type reliShim struct {
 	n       int
 	budget  int
 	nextSeq map[uint64]uint64
-	recvWin map[uint64]*seqWindow
+	recvWin map[uint64]*SeqWindow
 	// pending holds unacknowledged frames in creation order; acknowledged
 	// and dead frames are compacted out as they are encountered.
 	pending []*frame
@@ -410,7 +414,7 @@ func (s *reliShim) arrive(d *delivery, round int, f *frame, payload []byte, inje
 			return
 		}
 	}
-	if s.win(linkKey(f.from, f.to, s.n)).accept(f.seq) {
+	if s.win(linkKey(f.from, f.to, s.n)).Accept(f.seq) {
 		d.commit(Message{From: f.from, To: f.to, Payload: payload}, injected)
 	}
 	s.acks = append(s.acks, ackEvent{f: f, tx: round + 1})
@@ -450,7 +454,11 @@ func (s *reliShim) processAcks(d *delivery, round int) {
 // retransmitDue retries the unacknowledged frames whose backoff expires
 // this round and compacts settled frames out of the pending queue. A
 // crashed sender's queue is wiped — its un-acked frames die with it — and
-// a frame whose budget is spent is abandoned.
+// a frame whose budget is spent is abandoned with a typed per-link report:
+// Stats.LinkDowns counts the event and Config.OnLinkDown (when installed)
+// receives the LinkDownError naming the peer, the round of the
+// declaration, and the wire attempts spent. Reports fire in pending-queue
+// order (frame creation order), which is deterministic under every runner.
 func (s *reliShim) retransmitDue(d *delivery, round int) {
 	if len(s.pending) == 0 {
 		return
@@ -465,6 +473,10 @@ func (s *reliShim) retransmitDue(d *delivery, round int) {
 			continue
 		}
 		if f.attempts >= 1+s.budget {
+			d.stats.LinkDowns++
+			if d.onLinkDown != nil {
+				d.onLinkDown(LinkDownError{From: f.from, To: f.to, Round: round, Attempts: f.attempts})
+			}
 			continue
 		}
 		f.attempts++
@@ -487,26 +499,30 @@ func (s *reliShim) onCrash(id int) {
 	}
 }
 
-func (s *reliShim) win(key uint64) *seqWindow {
+func (s *reliShim) win(key uint64) *SeqWindow {
 	w := s.recvWin[key]
 	if w == nil {
-		w = &seqWindow{}
+		w = &SeqWindow{}
 		s.recvWin[key] = w
 	}
 	return w
 }
 
-// seqWindow deduplicates a directed link's frames with a sliding 64-entry
+// SeqWindow deduplicates a directed link's frames with a sliding 64-entry
 // window: base is the lowest sequence number still tracked, mask its
 // seen-bits. Anything below base was necessarily seen (the window only
-// slides past acknowledged history).
-type seqWindow struct {
+// slides past acknowledged history). The zero value is an empty window.
+// It is shared infrastructure of both reliable layers: the simulator's
+// shim below and the UDP backend's datagram links
+// (internal/transport/udp), which must absorb wire duplicates the same
+// way.
+type SeqWindow struct {
 	base uint64
 	mask uint64
 }
 
-// accept reports whether seq is new on this link and marks it seen.
-func (w *seqWindow) accept(seq uint64) bool {
+// Accept reports whether seq is new on this link and marks it seen.
+func (w *SeqWindow) Accept(seq uint64) bool {
 	if seq < w.base {
 		return false
 	}

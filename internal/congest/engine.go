@@ -42,6 +42,12 @@ type Config struct {
 	// Reliable layers the per-link ack/retransmit shim under every
 	// Send/Broadcast; the zero value sends unprotected.
 	Reliable Reliable
+	// OnLinkDown, when non-nil, receives a typed report every time the
+	// reliable shim abandons a frame because its retry budget is exhausted:
+	// which peer, at which round, after how many attempts. The calls happen
+	// on the caller goroutine during the deterministic merge, in a
+	// deterministic order. Stats.LinkDowns counts the same events.
+	OnLinkDown func(LinkDownError)
 }
 
 // DefaultMaxRounds is the round budget when Config.MaxRounds is zero.
@@ -76,6 +82,7 @@ type Stats struct {
 	Corrupted int64 // wire transmissions mutated by corruption faults
 	Forged    int64 // byzantine rewrites and injections put on the wire
 	Rejected  int64 // frames discarded as malformed, by the shim's link-layer framing check or by fail-closed protocol decoders (Env.Reject)
+	LinkDowns int64 // reliable-shim frames abandoned with the retry budget exhausted (see Config.OnLinkDown for the typed per-link reports)
 }
 
 // Run executes nodes on g until every node has halted, returning model-level
@@ -149,7 +156,7 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			faultRng = rand.New(rand.NewSource(nodeSeed(cfg.Seed, 1<<30)))
 		}
 		crashed = make([]bool, len(nodes))
-		del = newDelivery(&cfg.Faults, g, cfg.BitLimit, cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil)
+		del = newDelivery(&cfg.Faults, g, cfg.BitLimit, cfg.Reliable, faultRng, halted, crashed, inboxes, &stats, cfg.Observer != nil, cfg.OnLinkDown)
 	}
 
 	workers := cfg.Shards

@@ -1,0 +1,396 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the engine's transport seam: the distributed counterpart of
+// the fused in-process runners in engine.go/shard.go. A Transport moves one
+// round's framed per-edge payloads between shards that live in different
+// goroutines or different processes; RunShard is the round loop one shard
+// executes against it. Two implementations exist: ChanNetwork (below) wires
+// shards of a single process together with channels-free sync primitives
+// and is the reference for the barrier semantics, and
+// internal/transport/udp speaks real datagrams between processes with
+// retry/timeout/backoff and graceful degradation. The fused runners remain
+// the fast path — Run with Config.Parallel never touches this seam — and
+// stay byte-identical to the sequential engine (invariant I5).
+
+// Span is a contiguous range of node ids [Lo, Hi) owned by one shard of a
+// distributed run.
+type Span struct {
+	Lo, Hi int
+}
+
+// Contains reports whether node id falls in the span.
+func (s Span) Contains(id int) bool { return id >= s.Lo && id < s.Hi }
+
+// Len returns the number of nodes in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// SplitSpans partitions node ids 0..n-1 into k contiguous spans of size
+// n/k±1 (earlier spans take the remainder), the static id-range analogue of
+// the in-proc runner's topology shards. k is clamped to [1, n] for n > 0.
+func SplitSpans(n, k int) []Span {
+	if n <= 0 {
+		return []Span{{0, 0}}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	spans := make([]Span, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return spans
+}
+
+// LinkDownError reports one link whose reliable-delivery retry budget was
+// exhausted: the frame's sender gave up on the peer after the recorded
+// number of wire attempts. The simulator's shim surfaces it through
+// Config.OnLinkDown when a frame is abandoned; the UDP backend returns the
+// same type when a datagram link is declared down, so callers handle both
+// worlds with one errors.As target.
+type LinkDownError struct {
+	// From and To identify the directed link. Under the in-proc shim they
+	// are node ids; under a process transport they are shard ids.
+	From, To int
+	// Round is the protocol round at which the link was declared down.
+	Round int
+	// Attempts is the number of wire transmissions spent (initial send plus
+	// retransmissions).
+	Attempts int
+}
+
+func (e *LinkDownError) Error() string {
+	return fmt.Sprintf("congest: link %d->%d down at round %d after %d attempts", e.From, e.To, e.Round, e.Attempts)
+}
+
+// RoundStart is what a Transport reports when it opens a round.
+type RoundStart struct {
+	// Done reports that the coordinator declared the run globally complete
+	// after the previous round; the shard must stop without executing this
+	// round.
+	Done bool
+	// DownNodes lists node ids newly masked because their owning shard was
+	// declared down since the previous round. The engine needs no action —
+	// a down peer is indistinguishable from a crashed node's silence — but
+	// hosts log and report it.
+	DownNodes []int
+}
+
+// Transport moves one shard's round traffic in a distributed run. The
+// engine drives it in a strict per-round cycle — Begin, Send, Gather — and
+// never calls it concurrently; implementations handle their own wire
+// concurrency underneath.
+//
+// Degradation contract: Gather must return rather than hang when a peer
+// stops answering (retry budgets, barrier timeouts). Messages that never
+// arrived are simply absent — the protocol layer above is certified against
+// message loss — and a peer declared dead is reported through the next
+// Begin's RoundStart.DownNodes and masked exactly like a crashed node.
+type Transport interface {
+	// Begin blocks until the coordinator opens the round.
+	Begin(round int) (RoundStart, error)
+	// Send ships the local nodes' round messages addressed to remote nodes.
+	// Payload slices are only valid until the next engine round; the
+	// transport copies what it keeps.
+	Send(round int, msgs []Message) error
+	// Gather blocks until the round's inbound remote traffic has arrived
+	// (or the barrier degraded), reporting whether every local node has
+	// halted. The returned messages become next-round inbox entries.
+	Gather(round int, allHalted bool) ([]Message, error)
+}
+
+// RunShard executes the nodes of span on g against a Transport: the
+// distributed analogue of Run. nodes must have length g.N(); only entries
+// inside span are initialized and driven (remote entries may be nil), and
+// results are read out of them by the caller exactly as with Run. Stats
+// cover the local shard only; the coordinator aggregates across shards.
+//
+// The execution of each node is byte-identical to the same node under the
+// in-process runners whenever the transport delivers every message: node
+// seeds derive from (cfg.Seed, id) exactly as in Run, and every inbox is
+// delivered sorted by ascending sender id. Lost remote messages degrade the
+// run exactly like injected drop faults.
+func RunShard(g *Graph, nodes []Node, span Span, cfg Config, tr Transport) (Stats, error) {
+	if len(nodes) != g.N() {
+		return Stats{}, fmt.Errorf("congest: %d nodes for graph of %d vertices", len(nodes), g.N())
+	}
+	if span.Lo < 0 || span.Hi > g.N() || span.Lo > span.Hi {
+		return Stats{}, fmt.Errorf("congest: shard span [%d,%d) out of range [0,%d)", span.Lo, span.Hi, g.N())
+	}
+	if cfg.Faults.active() || cfg.Reliable.enabled() {
+		return Stats{}, fmt.Errorf("congest: RunShard does not simulate faults; chaos on a transport run is injected at the packet layer")
+	}
+	// Shards of an in-process deployment share the Graph, so the lazy
+	// freeze inside Finalize would race; the caller finalizes once before
+	// launching shards.
+	if !g.frozen {
+		return Stats{}, fmt.Errorf("congest: RunShard requires a finalized graph; call Finalize before launching shards")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	envs := make([]*Env, g.N())
+	halted := make([]bool, g.N())
+	inboxes := make([][]Message, g.N())
+	for id := span.Lo; id < span.Hi; id++ {
+		envs[id] = &Env{
+			id:       id,
+			graph:    g,
+			seed:     nodeSeed(cfg.Seed, id),
+			bitLimit: cfg.BitLimit,
+			sentGen:  make([]uint64, g.Degree(id)),
+			gen:      1,
+		}
+		nodes[id].Init(envs[id])
+	}
+
+	var stats Stats
+	var out []Message
+	for round := 0; ; round++ {
+		start, err := tr.Begin(round)
+		if err != nil {
+			stats.Rounds = round
+			return stats, fmt.Errorf("congest: begin round %d: %w", round, err)
+		}
+		if start.Done {
+			stats.Rounds = round
+			return stats, nil
+		}
+		if round >= maxRounds {
+			stats.Rounds = round
+			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
+		}
+
+		allHalted := true
+		for id := span.Lo; id < span.Hi; id++ {
+			if halted[id] {
+				continue
+			}
+			envs[id].beginRound()
+			halted[id] = nodes[id].Round(round, inboxes[id])
+			if !halted[id] {
+				allHalted = false
+			}
+		}
+
+		// Merge phase: walk local senders in ascending id order (so local
+		// deliveries land born-sorted, as in Run), account every staged
+		// message, and split deliveries into local inbox appends and the
+		// remote batch the transport ships.
+		for id := span.Lo; id < span.Hi; id++ {
+			inboxes[id] = inboxes[id][:0]
+		}
+		out = out[:0]
+		for id := span.Lo; id < span.Hi; id++ {
+			env := envs[id]
+			if env.sendErr != nil {
+				stats.Rounds = round + 1
+				return stats, env.sendErr
+			}
+			for _, msg := range env.out {
+				stats.Messages++
+				stats.Bits += int64(msg.Bits())
+				if msg.Bits() > stats.MaxMessageBits {
+					stats.MaxMessageBits = msg.Bits()
+				}
+				if span.Contains(msg.To) {
+					// Messages to halted nodes are delivered to nobody but
+					// still counted, as in Run.
+					if !halted[msg.To] {
+						inboxes[msg.To] = append(inboxes[msg.To], msg)
+					}
+				} else {
+					out = append(out, msg)
+				}
+			}
+			env.out = env.out[:0]
+			if env.rejected != 0 {
+				stats.Rejected += env.rejected
+				env.rejected = 0
+			}
+		}
+		if err := tr.Send(round, out); err != nil {
+			stats.Rounds = round + 1
+			return stats, fmt.Errorf("congest: send round %d: %w", round, err)
+		}
+		in, err := tr.Gather(round, allHalted)
+		if err != nil {
+			stats.Rounds = round + 1
+			return stats, fmt.Errorf("congest: gather round %d: %w", round, err)
+		}
+		remote := false
+		for _, msg := range in {
+			if !span.Contains(msg.To) {
+				stats.Rounds = round + 1
+				return stats, fmt.Errorf("congest: transport delivered message for remote node %d to shard [%d,%d)", msg.To, span.Lo, span.Hi)
+			}
+			if !halted[msg.To] {
+				inboxes[msg.To] = append(inboxes[msg.To], msg)
+				remote = true
+			}
+		}
+		if remote {
+			// Local appends are already sorted by sender id; remote arrivals
+			// land behind them in transport order. Re-establish the engine's
+			// born-sorted inbox invariant per receiving node. The sort is
+			// deterministic: a sender stages at most one message per
+			// recipient per round, so sender ids within an inbox are unique.
+			for id := span.Lo; id < span.Hi; id++ {
+				box := inboxes[id]
+				if len(box) > 1 {
+					sort.Slice(box, func(a, b int) bool { return box[a].From < box[b].From })
+				}
+			}
+		}
+	}
+}
+
+// ChanNetwork is the in-process Transport implementation: k shard endpoints
+// of one process joined by a shared round barrier. It exists as the
+// reference implementation of the Transport contract — the UDP backend must
+// be observably equivalent to it on a lossless network — and as the test
+// double that lets the distributed round loop run without sockets. It has
+// no failure modes: every message is delivered and no peer is ever declared
+// down.
+type ChanNetwork struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	spans []Span
+	// open is the highest round the barrier has released; done is set when
+	// every shard reported allHalted for the same round.
+	open int
+	done bool
+	// arrived counts Gather calls for the open round; halted how many of
+	// them reported a fully-halted shard.
+	arrived int
+	halted  int
+	// buf[shard] accumulates the open round's inbound messages per
+	// destination shard; swap holds the previous round's, being drained.
+	buf  [][]Message
+	swap [][]Message
+}
+
+// NewChanNetwork builds an in-process network whose shard i owns spans[i].
+// Spans must tile 0..n-1 contiguously in order.
+func NewChanNetwork(n int, spans []Span) (*ChanNetwork, error) {
+	lo := 0
+	for i, s := range spans {
+		if s.Lo != lo || s.Hi < s.Lo {
+			return nil, fmt.Errorf("congest: span %d is [%d,%d), want contiguous from %d", i, s.Lo, s.Hi, lo)
+		}
+		lo = s.Hi
+	}
+	if lo != n {
+		return nil, fmt.Errorf("congest: spans cover [0,%d), want [0,%d)", lo, n)
+	}
+	c := &ChanNetwork{
+		spans: spans,
+		buf:   make([][]Message, len(spans)),
+		swap:  make([][]Message, len(spans)),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Shard returns shard i's Transport endpoint.
+func (c *ChanNetwork) Shard(i int) Transport { return &chanEndpoint{net: c, shard: i} }
+
+// owner returns the shard owning node id.
+func (c *ChanNetwork) owner(id int) int {
+	lo, hi := 0, len(c.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case id < c.spans[mid].Lo:
+			hi = mid
+		case id >= c.spans[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+type chanEndpoint struct {
+	net   *ChanNetwork
+	shard int
+}
+
+func (e *chanEndpoint) Begin(round int) (RoundStart, error) {
+	c := e.net
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.open < round && !c.done {
+		c.cond.Wait()
+	}
+	return RoundStart{Done: c.done && c.open < round}, nil
+}
+
+func (e *chanEndpoint) Send(round int, msgs []Message) error {
+	c := e.net
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if round != c.open {
+		return fmt.Errorf("congest: shard %d sent for round %d, open round is %d", e.shard, round, c.open)
+	}
+	for _, m := range msgs {
+		dst := c.owner(m.To)
+		if dst < 0 {
+			return fmt.Errorf("congest: message to unowned node %d", m.To)
+		}
+		// Payloads live in the sender's round arena, which the sender
+		// recycles after the barrier; the network owns its copies.
+		c.buf[dst] = append(c.buf[dst], Message{From: m.From, To: m.To, Payload: append([]byte(nil), m.Payload...)})
+	}
+	return nil
+}
+
+func (e *chanEndpoint) Gather(round int, allHalted bool) ([]Message, error) {
+	c := e.net
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if round != c.open {
+		return nil, fmt.Errorf("congest: shard %d gathered round %d, open round is %d", e.shard, round, c.open)
+	}
+	c.arrived++
+	if allHalted {
+		c.halted++
+	}
+	if c.arrived == len(c.spans) {
+		// Barrier complete: the open round's buffers become the drain set
+		// and the next round opens (or the run ends — the round counter
+		// then stays put so Begin(round+1) reports Done).
+		c.buf, c.swap = c.swap, c.buf
+		if c.halted == len(c.spans) {
+			c.done = true
+		} else {
+			c.open = round + 1
+		}
+		c.arrived, c.halted = 0, 0
+		c.cond.Broadcast()
+	} else {
+		for c.open == round && !c.done {
+			c.cond.Wait()
+		}
+	}
+	out := c.swap[e.shard]
+	c.swap[e.shard] = nil
+	return out, nil
+}

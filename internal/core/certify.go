@@ -18,7 +18,9 @@ import (
 // The fault exemptions come from rep: clients listed in DeadClients
 // (crashed, never finished), UnservableClients (finished, but every
 // reachable facility was dead), ByzantineClients (compromised, state
-// untrusted) or DeceivedClients (honest, but lured to a byzantine facility)
+// untrusted), DeceivedClients (honest, but lured to a byzantine facility)
+// or OrphanedClients (committed to a facility whose shard died, see
+// Assemble)
 // are required to be unassigned rather than assigned; facilities listed in
 // DeadFacilities or ByzantineFacilities are required to be closed. Every
 // other client must be assigned along a real edge to an open facility —
@@ -170,6 +172,9 @@ func exemptions(inst *fl.Instance, rep *Report) (exemptClient, deadFacility []bo
 		return nil, nil, err
 	}
 	if exemptClient, err = mark(exemptClient, rep.DeceivedClients, "client"); err != nil {
+		return nil, nil, err
+	}
+	if exemptClient, err = mark(exemptClient, rep.OrphanedClients, "client"); err != nil {
 		return nil, nil, err
 	}
 	deadFacility = make([]bool, inst.M())

@@ -55,6 +55,12 @@ type Report struct {
 	// certifier exempts them — the byzantine analogue of the paper-line
 	// outlier exemption.
 	DeceivedClients []int
+	// OrphanedClients lists clients of a distributed run whose committed
+	// assignment pointed at a facility on a shard that died too late for
+	// the repair tail to renegotiate (see Assemble). They are masked
+	// unassigned and exempted by the certifier — the transport-layer
+	// analogue of DeceivedClients. Always empty on in-process runs.
+	OrphanedClients []int
 	// QuarantinedFacilities and QuarantinedClients list nodes condemned by
 	// at least one honest peer's sender-quarantine layer (see
 	// quarantine.go). Informational: quarantine already shaped the run (a

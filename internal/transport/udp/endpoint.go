@@ -1,0 +1,292 @@
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dfl/internal/congest"
+)
+
+// inflightCap bounds unacknowledged frames per link. It must stay at or
+// below congest.SeqWindow's 64-entry width: with every in-flight frame
+// inside the receiver's dedup window, a retransmitted duplicate can never
+// slide the window past a frame that was genuinely lost.
+const inflightCap = 32
+
+// tick is the retransmission scan period. It also paces every
+// condition-variable wait in the package, so timeouts resolve within one
+// tick of their deadline.
+const tick = 2 * time.Millisecond
+
+// pending is one sequenced frame awaiting acknowledgement.
+type pending struct {
+	seq      uint64
+	wire     []byte // full encoded datagram, retransmitted verbatim
+	attempts int    // transmissions so far (1 = initial send)
+	deadline time.Time
+}
+
+// link is the per-peer reliable state: sender-side sequence and in-flight
+// tracking, receiver-side dedup window.
+type link struct {
+	addr     net.Addr
+	shard    int // peer's shard id, -1 until learned from its first frame
+	nextSeq  uint64
+	window   congest.SeqWindow
+	inflight map[uint64]*pending
+	queue    []*pending // flow-control overflow, FIFO
+	down     bool
+}
+
+// endpoint is one UDP party (a shard or the gateway): a socket, a reader
+// goroutine, a retransmission timer and the per-peer links. Inbound frames
+// are deduplicated, acknowledged and handed to the owner's handler with mu
+// held; owners block on cond for state changes, woken by arrivals and by
+// every timer tick (which makes plain cond waits deadline-capable).
+type endpoint struct {
+	shard  int // own shard id; gateways use the shard count k
+	conn   net.PacketConn
+	policy Policy
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	links  map[string]*link
+	closed bool
+
+	// handler consumes each deduplicated non-ack frame; set before serve.
+	handler func(from net.Addr, f Frame)
+	// onDown observes a peer link exhausting its retry budget.
+	onDown func(l *link, e congest.LinkDownError)
+
+	rejected int64 // malformed datagrams discarded fail-closed
+
+	wg     sync.WaitGroup
+	sendMu sync.Mutex // serializes WriteTo (PacketConn is safe, chaos wrappers may not be)
+	outBuf []byte
+}
+
+// newEndpoint wraps an already-bound socket. The caller sets handler and
+// onDown before calling serve.
+func newEndpoint(shard int, conn net.PacketConn, policy Policy) *endpoint {
+	ep := &endpoint{
+		shard:  shard,
+		conn:   conn,
+		policy: policy,
+		links:  make(map[string]*link),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// serve starts the reader and retransmission goroutines.
+func (ep *endpoint) serve() {
+	ep.wg.Add(2)
+	go ep.readLoop()
+	go ep.timerLoop()
+}
+
+// close shuts the socket down and joins the background goroutines.
+func (ep *endpoint) close() {
+	ep.mu.Lock()
+	ep.closed = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	ep.conn.Close()
+	ep.wg.Wait()
+}
+
+func (ep *endpoint) link(addr net.Addr) *link {
+	key := addr.String()
+	l := ep.links[key]
+	if l == nil {
+		l = &link{addr: addr, shard: -1, inflight: make(map[uint64]*pending)}
+		ep.links[key] = l
+	}
+	return l
+}
+
+func (ep *endpoint) readLoop() {
+	defer ep.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := ep.conn.ReadFrom(buf)
+		if err != nil {
+			ep.mu.Lock()
+			closed := ep.closed
+			ep.cond.Broadcast()
+			ep.mu.Unlock()
+			if closed {
+				return
+			}
+			// Transient socket errors (e.g. ICMP-induced) are just loss.
+			continue
+		}
+		f, err := DecodeFrame(buf[:n])
+		if err != nil {
+			ep.mu.Lock()
+			ep.rejected++
+			ep.mu.Unlock()
+			continue
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		l := ep.link(from)
+		if l.shard < 0 {
+			l.shard = f.Shard
+		}
+		if f.Kind == frAck {
+			if p := l.inflight[f.Seq]; p != nil {
+				delete(l.inflight, f.Seq)
+				ep.drainQueueLocked(l)
+			}
+			ep.cond.Broadcast()
+			ep.mu.Unlock()
+			continue
+		}
+		// Acknowledge before dedup: a duplicate means our previous ack was
+		// lost, and the sender needs another one to stop retransmitting.
+		ep.writeAck(l, f)
+		if !l.window.Accept(f.Seq) {
+			ep.mu.Unlock()
+			continue
+		}
+		// The frame body aliases the read buffer; handlers copy what they
+		// keep (they run with mu held, before the next ReadFrom).
+		if ep.handler != nil {
+			ep.handler(from, f)
+		}
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+}
+
+// timerLoop retransmits overdue frames and wakes cond waiters every tick.
+func (ep *endpoint) timerLoop() {
+	defer ep.wg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for now := range t.C {
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		for _, l := range ep.links {
+			if l.down {
+				continue
+			}
+			for seq, p := range l.inflight {
+				if now.Before(p.deadline) {
+					continue
+				}
+				if ep.policy.Exhausted(p.attempts) {
+					delete(l.inflight, seq)
+					l.down = true
+					e := congest.LinkDownError{From: ep.shard, To: l.shard, Attempts: p.attempts}
+					if ep.onDown != nil {
+						ep.onDown(l, e)
+					}
+					continue
+				}
+				p.attempts++
+				p.deadline = now.Add(ep.policy.Delay(p.attempts - 1))
+				ep.writeDatagram(l.addr, p.wire)
+			}
+			if l.down {
+				// Abandon everything else queued for a dead peer.
+				l.inflight = make(map[uint64]*pending)
+				l.queue = nil
+			}
+		}
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+}
+
+// sendReliable sequences a frame on the link to addr and transmits it,
+// honouring the in-flight cap (excess frames queue and go out as acks make
+// room). Caller holds mu. Frames to a link already declared down are
+// dropped: the peer is dead, the degradation ladder has moved on.
+func (ep *endpoint) sendReliable(addr net.Addr, f Frame) {
+	l := ep.link(addr)
+	if l.down {
+		return
+	}
+	f.Shard = ep.shard
+	f.Seq = l.nextSeq
+	l.nextSeq++
+	p := &pending{seq: f.Seq, wire: AppendFrame(nil, f)}
+	if len(l.inflight) >= inflightCap {
+		l.queue = append(l.queue, p)
+		return
+	}
+	ep.transmitLocked(l, p)
+}
+
+func (ep *endpoint) drainQueueLocked(l *link) {
+	for len(l.queue) > 0 && len(l.inflight) < inflightCap {
+		p := l.queue[0]
+		l.queue = l.queue[1:]
+		ep.transmitLocked(l, p)
+	}
+}
+
+func (ep *endpoint) transmitLocked(l *link, p *pending) {
+	p.attempts = 1
+	p.deadline = time.Now().Add(ep.policy.Delay(0))
+	l.inflight[p.seq] = p
+	ep.writeDatagram(l.addr, p.wire)
+}
+
+// writeAck answers a sequenced frame; acks are fire-and-forget and carry
+// the acknowledged seq in their own seq field.
+func (ep *endpoint) writeAck(l *link, f Frame) {
+	ep.writeDatagram(l.addr, AppendFrame(nil, Frame{Kind: frAck, Shard: ep.shard, Round: f.Round, Seq: f.Seq}))
+}
+
+func (ep *endpoint) writeDatagram(addr net.Addr, wire []byte) {
+	// Fire and forget: a failed write is indistinguishable from wire loss
+	// and the retransmission machinery absorbs it either way.
+	ep.sendMu.Lock()
+	_, _ = ep.conn.WriteTo(wire, addr)
+	ep.sendMu.Unlock()
+}
+
+// flushed reports whether every link is idle (nothing in flight or queued).
+// Caller holds mu.
+func (ep *endpoint) flushedLocked() bool {
+	for _, l := range ep.links {
+		if l.down {
+			continue
+		}
+		if len(l.inflight) > 0 || len(l.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// errTimeout marks a waitUntil deadline lapse.
+var errTimeout = errors.New("udp: timeout")
+
+// waitUntil blocks (with mu held) until pred is true, the deadline lapses,
+// or the endpoint closes. The timer loop's per-tick broadcast bounds how
+// stale the deadline check can be.
+func (ep *endpoint) waitUntil(deadline time.Time, pred func() bool) error {
+	for !pred() {
+		if ep.closed {
+			return fmt.Errorf("udp: endpoint closed")
+		}
+		if !time.Now().Before(deadline) {
+			return errTimeout
+		}
+		ep.cond.Wait()
+	}
+	return nil
+}

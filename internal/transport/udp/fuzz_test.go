@@ -1,0 +1,33 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+
+	"dfl/internal/congest"
+)
+
+// FuzzFrameDecode joins the repo's fail-closed decoder fuzz family: the
+// frame decoder must never panic on arbitrary datagrams, and everything it
+// accepts must re-encode to bytes it accepts again, identically.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(AppendFrame(nil, Frame{Kind: frData, Shard: 3, Round: 300, Seq: 7, Body: []byte{0xAA}}))
+	f.Add(AppendFrame(nil, Frame{Kind: frAck, Seq: 1 << 40}))
+	f.Add(AppendFrame(nil, Frame{Kind: frWelcome, Shard: 2, Body: encodeWelcome([]string{"127.0.0.1:1"}, []congest.Span{{Lo: 0, Hi: 4}})}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		fr, err := DecodeFrame(p)
+		if err != nil {
+			return
+		}
+		wire := AppendFrame(nil, fr)
+		fr2, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Shard != fr.Shard || fr2.Round != fr.Round || fr2.Seq != fr.Seq || !bytes.Equal(fr2.Body, fr.Body) {
+			t.Fatalf("re-encode diverged: %+v vs %+v", fr2, fr)
+		}
+	})
+}

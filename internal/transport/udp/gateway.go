@@ -1,0 +1,249 @@
+package udp
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dfl/internal/congest"
+)
+
+// Gateway sequences the round barriers of a deployment and is the single
+// authority for down declarations: a shard that misses a barrier (or whose
+// control link exhausts its retry budget) is declared down, the surviving
+// shards learn it in the next GO frame, and the run continues without it —
+// the degradation ladder's "node masked" rung. After global halt the
+// gateway collects each survivor's result fragment.
+type Gateway struct {
+	ep    *endpoint
+	k     int
+	spans []congest.Span
+	cfg   Config
+
+	// OnRound, when set, observes every opened round with the cumulative
+	// down set; the soak harness uses it to schedule churn. Called without
+	// locks held.
+	OnRound func(round int, down []bool)
+
+	// Guarded by ep.mu.
+	addrs    []net.Addr // per shard, learned from HELLO
+	hellos   int
+	down     []bool
+	ready    map[int]map[int]bool // round -> shard -> halted flag
+	results  []*chunkBuf          // per shard, RESULT assembly
+	resultOK []bool
+}
+
+// Result is a finished deployment: the raw fragment bytes each surviving
+// shard returned (nil for down shards — their nodes are masked by
+// assembly) and the fate of the fleet.
+type Result struct {
+	Fragments [][]byte
+	Down      []bool
+	Rounds    int
+}
+
+// NewGateway binds the gateway socket on addr ("127.0.0.1:0" for an
+// ephemeral port). spans is the node-id partition, one per shard.
+func NewGateway(addr string, spans []congest.Span, cfg Config) (*Gateway, error) {
+	k := len(spans)
+	if k == 0 {
+		return nil, fmt.Errorf("udp: gateway needs at least one shard span")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udp: gateway bind: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		k:        k,
+		spans:    spans,
+		cfg:      cfg,
+		addrs:    make([]net.Addr, k),
+		down:     make([]bool, k),
+		ready:    make(map[int]map[int]bool),
+		results:  make([]*chunkBuf, k),
+		resultOK: make([]bool, k),
+	}
+	g.ep = newEndpoint(k, conn, cfg.Policy)
+	g.ep.handler = g.handle
+	g.ep.onDown = func(l *link, e congest.LinkDownError) {
+		if l.shard >= 0 && l.shard < k {
+			g.down[l.shard] = true
+		}
+	}
+	g.ep.serve()
+	return g, nil
+}
+
+// Addr is the bound gateway address for shards to dial.
+func (g *Gateway) Addr() string { return g.ep.conn.LocalAddr().String() }
+
+// Close releases the socket.
+func (g *Gateway) Close() { g.ep.close() }
+
+func (g *Gateway) handle(from net.Addr, f Frame) {
+	sh := f.Shard
+	if sh < 0 || sh >= g.k {
+		g.ep.rejected++
+		return
+	}
+	switch f.Kind {
+	case frHello:
+		if g.addrs[sh] == nil {
+			g.addrs[sh] = from
+			g.hellos++
+		}
+	case frReady:
+		if len(f.Body) != 1 || f.Body[0] > 1 {
+			g.ep.rejected++
+			return
+		}
+		byShard := g.ready[f.Round]
+		if byShard == nil {
+			byShard = make(map[int]bool)
+			g.ready[f.Round] = byShard
+		}
+		byShard[sh] = f.Body[0] == 1
+	case frResult:
+		part, parts, chunk, err := decodeChunkHeader(f.Body)
+		if err != nil {
+			g.ep.rejected++
+			return
+		}
+		if g.results[sh] == nil {
+			g.results[sh] = &chunkBuf{}
+		}
+		full, err := g.results[sh].add(part, parts, chunk)
+		if err != nil {
+			g.ep.rejected++
+			return
+		}
+		if full {
+			g.resultOK[sh] = true
+		}
+	}
+}
+
+// Run drives the deployment: assemble the fleet, sequence rounds until
+// every survivor reports halted (or maxRounds trips), then collect
+// fragments. It returns the surviving fragments and the down set; the
+// caller assembles and certifies them (core.Assemble).
+func (g *Gateway) Run(maxRounds int) (*Result, error) {
+	g.ep.mu.Lock()
+	// Fleet assembly: every shard must say hello before the run starts; a
+	// fleet that cannot fully form is a deployment error, not degradation.
+	err := g.ep.waitUntil(time.Now().Add(g.cfg.HelloTimeout), func() bool { return g.hellos == g.k })
+	if err != nil {
+		g.ep.mu.Unlock()
+		return nil, fmt.Errorf("udp: fleet assembly: %d/%d shards reported: %w", g.hellos, g.k, err)
+	}
+	addrs := make([]string, g.k)
+	for i, a := range g.addrs {
+		addrs[i] = a.String()
+	}
+	welcome := encodeWelcome(addrs, g.spans)
+	for sh := 0; sh < g.k; sh++ {
+		g.ep.sendReliable(g.addrs[sh], Frame{Kind: frWelcome, Body: welcome})
+	}
+
+	round := 0
+	for ; round < maxRounds; round++ {
+		goBody := encodeDownList(g.down)
+		live := 0
+		for sh := 0; sh < g.k; sh++ {
+			if g.down[sh] {
+				continue
+			}
+			live++
+			g.ep.sendReliable(g.addrs[sh], Frame{Kind: frGo, Round: round, Body: goBody})
+		}
+		if live == 0 {
+			g.ep.mu.Unlock()
+			return nil, fmt.Errorf("udp: every shard is down at round %d", round)
+		}
+		if g.OnRound != nil {
+			down := append([]bool(nil), g.down...)
+			g.ep.mu.Unlock()
+			g.OnRound(round, down)
+			g.ep.mu.Lock()
+		}
+		// Barrier: wait for READY(round) from every live shard; stragglers
+		// past the timeout (or dead control links) are declared down.
+		barrier := func() bool {
+			for sh := 0; sh < g.k; sh++ {
+				if g.down[sh] {
+					continue
+				}
+				if _, ok := g.ready[round][sh]; !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if err := g.ep.waitUntil(time.Now().Add(g.cfg.BarrierTimeout), barrier); err != nil {
+			for sh := 0; sh < g.k; sh++ {
+				if g.down[sh] {
+					continue
+				}
+				if _, ok := g.ready[round][sh]; !ok {
+					g.down[sh] = true
+				}
+			}
+		}
+		allHalted := true
+		anyLive := false
+		for sh := 0; sh < g.k; sh++ {
+			if g.down[sh] {
+				continue
+			}
+			anyLive = true
+			if !g.ready[round][sh] {
+				allHalted = false
+			}
+		}
+		delete(g.ready, round)
+		if !anyLive {
+			g.ep.mu.Unlock()
+			return nil, fmt.Errorf("udp: every shard is down at round %d", round)
+		}
+		if allHalted {
+			break
+		}
+	}
+	if round >= maxRounds {
+		g.ep.mu.Unlock()
+		return nil, fmt.Errorf("udp: round budget %d exhausted without global halt", maxRounds)
+	}
+
+	// Termination: tell survivors to ship their fragments.
+	for sh := 0; sh < g.k; sh++ {
+		if !g.down[sh] {
+			g.ep.sendReliable(g.addrs[sh], Frame{Kind: frDone, Round: round})
+		}
+	}
+	_ = g.ep.waitUntil(time.Now().Add(g.cfg.ResultTimeout), func() bool {
+		for sh := 0; sh < g.k; sh++ {
+			if !g.down[sh] && !g.resultOK[sh] {
+				return false
+			}
+		}
+		return true
+	})
+	res := &Result{
+		Fragments: make([][]byte, g.k),
+		Down:      append([]bool(nil), g.down...),
+		Rounds:    round + 1,
+	}
+	for sh := 0; sh < g.k; sh++ {
+		if g.resultOK[sh] {
+			res.Fragments[sh] = g.results[sh].bytes()
+		} else {
+			// No fragment in time: the shard is down as far as assembly is
+			// concerned, whatever the barrier bookkeeping said.
+			res.Down[sh] = true
+		}
+	}
+	g.ep.mu.Unlock()
+	return res, nil
+}

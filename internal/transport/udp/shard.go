@@ -1,0 +1,491 @@
+package udp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"dfl/internal/congest"
+)
+
+// Config tunes a deployment's timers. The zero value means defaults; every
+// field has one.
+type Config struct {
+	// Policy is the per-link retransmission schedule.
+	Policy Policy
+	// GatherTimeout bounds how long a shard waits inside a round for peer
+	// payloads before treating the stragglers as lost (partial-round
+	// degradation: the protocol sees drops, not a hang).
+	GatherTimeout time.Duration
+	// BarrierTimeout bounds how long the gateway waits at a round barrier
+	// before declaring silent shards down. It must exceed GatherTimeout
+	// plus the policy's total retransmission wait, or slow links get
+	// declared dead while still retrying.
+	BarrierTimeout time.Duration
+	// HelloTimeout bounds fleet assembly: the gateway's wait for every
+	// shard's HELLO and a shard's wait for its WELCOME.
+	HelloTimeout time.Duration
+	// ResultTimeout bounds the gateway's wait for each surviving shard's
+	// result fragment after the run completes.
+	ResultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == (Policy{}) {
+		c.Policy = DefaultPolicy
+	}
+	if c.GatherTimeout == 0 {
+		c.GatherTimeout = c.Policy.TotalWait() + 200*time.Millisecond
+	}
+	if c.BarrierTimeout == 0 {
+		c.BarrierTimeout = c.GatherTimeout + c.Policy.TotalWait() + time.Second
+	}
+	if c.HelloTimeout == 0 {
+		c.HelloTimeout = 30 * time.Second
+	}
+	if c.ResultTimeout == 0 {
+		c.ResultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// maxChunk bounds a DATA/RESULT chunk's payload so the chunk header and
+// frame header fit under maxFrameBody together.
+const maxChunk = 1100
+
+// chunkBuf reassembles one chunked body stream.
+type chunkBuf struct {
+	parts [][]byte
+	have  int
+}
+
+func (b *chunkBuf) add(part, parts int, chunk []byte) (complete bool, err error) {
+	if b.parts == nil {
+		b.parts = make([][]byte, parts)
+	}
+	if parts != len(b.parts) || part >= len(b.parts) {
+		return false, fmt.Errorf("udp: chunk %d/%d against stream of %d", part, parts, len(b.parts))
+	}
+	if b.parts[part] == nil {
+		b.parts[part] = append([]byte(nil), chunk...)
+		b.have++
+	}
+	return b.have == len(b.parts), nil
+}
+
+func (b *chunkBuf) bytes() []byte {
+	var out []byte
+	for _, p := range b.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Shard is the UDP implementation of congest.Transport: one per flnode
+// process, speaking DATA frames to peer shards and the barrier control
+// protocol to the gateway.
+type Shard struct {
+	ep  *endpoint
+	id  int
+	k   int
+	cfg Config
+
+	gwAddr net.Addr
+
+	// All fields below are guarded by ep.mu (handlers run with it held).
+	welcomed bool
+	peers    []net.Addr     // by shard id; nil for self
+	spans    []congest.Span // by shard id
+	maxGo    int            // highest round the gateway has opened; -1 initially
+	goDown   []bool         // cumulative down set from GO frames
+	done     bool
+	gwLost   bool // gateway link exhausted its budget
+	gathered int  // rounds [0, gathered) are closed; late DATA is dropped
+	// data[round][fromShard] assembles that peer's batch for the round.
+	data map[int]map[int]*chunkBuf
+	// complete[round] marks peers whose batch for the round is fully in.
+	complete map[int]map[int][]congest.Message
+}
+
+var _ congest.Transport = (*Shard)(nil)
+
+// Dial binds a UDP socket (wrapped by chaos if non-nil), announces the
+// shard to the gateway and blocks until the gateway's WELCOME delivers the
+// fleet's address book. id is this shard's index in [0,k).
+func Dial(id, k int, gateway string, cfg Config, chaos *Chaos) (*Shard, error) {
+	if id < 0 || id >= k {
+		return nil, fmt.Errorf("udp: shard id %d outside [0,%d)", id, k)
+	}
+	gwAddr, err := net.ResolveUDPAddr("udp", gateway)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve gateway: %w", err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("udp: bind: %w", err)
+	}
+	var conn net.PacketConn = pc
+	if chaos != nil {
+		conn = chaos.Wrap(conn)
+	}
+	cfg = cfg.withDefaults()
+	s := &Shard{
+		id:       id,
+		k:        k,
+		cfg:      cfg,
+		gwAddr:   gwAddr,
+		maxGo:    -1,
+		goDown:   make([]bool, k),
+		data:     make(map[int]map[int]*chunkBuf),
+		complete: make(map[int]map[int][]congest.Message),
+	}
+	s.ep = newEndpoint(id, conn, cfg.Policy)
+	s.ep.handler = s.handle
+	s.ep.onDown = func(l *link, e congest.LinkDownError) {
+		if l.addr.String() == gwAddr.String() {
+			s.gwLost = true
+		}
+		// A peer-shard link going down needs no local action: its DATA
+		// simply stops arriving and Gather's timeout treats it as loss.
+		// Down declarations are the gateway's authority alone.
+	}
+	s.ep.serve()
+
+	s.ep.mu.Lock()
+	s.ep.sendReliable(gwAddr, Frame{Kind: frHello})
+	err = s.ep.waitUntil(time.Now().Add(cfg.HelloTimeout), func() bool { return s.welcomed || s.gwLost })
+	if err == nil && s.gwLost {
+		err = fmt.Errorf("udp: gateway link down during hello")
+	}
+	s.ep.mu.Unlock()
+	if err != nil {
+		s.ep.close()
+		return nil, fmt.Errorf("udp: shard %d joining fleet: %w", id, err)
+	}
+	return s, nil
+}
+
+// Close releases the socket. Safe after any error.
+func (s *Shard) Close() { s.ep.close() }
+
+// handle runs on the reader goroutine with ep.mu held.
+func (s *Shard) handle(from net.Addr, f Frame) {
+	switch f.Kind {
+	case frWelcome:
+		if s.welcomed {
+			return
+		}
+		peers, spans, err := decodeWelcome(f.Body, s.k)
+		if err != nil {
+			s.ep.rejected++
+			return
+		}
+		s.peers, s.spans = peers, spans
+		s.welcomed = true
+	case frGo:
+		down, err := decodeDownList(f.Body, s.k)
+		if err != nil {
+			s.ep.rejected++
+			return
+		}
+		if f.Round > s.maxGo {
+			s.maxGo = f.Round
+		}
+		for i, d := range down {
+			if d {
+				s.goDown[i] = true
+			}
+		}
+	case frDone:
+		s.done = true
+	case frData:
+		if f.Round < s.gathered || f.Shard < 0 || f.Shard >= s.k || f.Shard == s.id {
+			return // late or nonsensical; the round has moved on
+		}
+		part, parts, chunk, err := decodeChunkHeader(f.Body)
+		if err != nil {
+			s.ep.rejected++
+			return
+		}
+		byFrom := s.data[f.Round]
+		if byFrom == nil {
+			byFrom = make(map[int]*chunkBuf)
+			s.data[f.Round] = byFrom
+		}
+		buf := byFrom[f.Shard]
+		if buf == nil {
+			buf = &chunkBuf{}
+			byFrom[f.Shard] = buf
+		}
+		full, err := buf.add(part, parts, chunk)
+		if err != nil {
+			s.ep.rejected++
+			return
+		}
+		if !full {
+			return
+		}
+		msgs, err := decodeBatch(buf.bytes(), f.Shard, s.spans)
+		if err != nil {
+			s.ep.rejected++
+			return
+		}
+		byRound := s.complete[f.Round]
+		if byRound == nil {
+			byRound = make(map[int][]congest.Message)
+			s.complete[f.Round] = byRound
+		}
+		byRound[f.Shard] = msgs
+		delete(byFrom, f.Shard)
+	}
+}
+
+// Begin implements congest.Transport: it blocks until the gateway opens
+// the round (or ends the run). A gateway that has gone silent past every
+// timeout is a fatal error — with the sequencer dead there is no run left
+// to degrade gracefully.
+func (s *Shard) Begin(round int) (congest.RoundStart, error) {
+	s.ep.mu.Lock()
+	defer s.ep.mu.Unlock()
+	deadline := time.Now().Add(2*s.cfg.BarrierTimeout + s.cfg.GatherTimeout)
+	err := s.ep.waitUntil(deadline, func() bool { return s.done || s.maxGo >= round || s.gwLost })
+	if s.done {
+		return congest.RoundStart{Done: true}, nil
+	}
+	if s.gwLost {
+		return congest.RoundStart{}, fmt.Errorf("udp: shard %d: gateway link down at round %d", s.id, round)
+	}
+	if err != nil {
+		return congest.RoundStart{}, fmt.Errorf("udp: shard %d: no barrier for round %d: %w", s.id, round, err)
+	}
+	var downNodes []int
+	for sh, d := range s.goDown {
+		if d {
+			for id := s.spans[sh].Lo; id < s.spans[sh].Hi; id++ {
+				downNodes = append(downNodes, id)
+			}
+		}
+	}
+	return congest.RoundStart{DownNodes: downNodes}, nil
+}
+
+// Send implements congest.Transport: it batches the round's remote
+// messages per destination shard and ships each batch as chunked DATA
+// frames. Every live peer receives a batch each round — an empty one if
+// nothing is addressed to it — so receivers can tell "no traffic" from
+// "batch lost". Messages to down shards are dropped silently; their nodes
+// are already masked.
+func (s *Shard) Send(round int, msgs []congest.Message) error {
+	s.ep.mu.Lock()
+	defer s.ep.mu.Unlock()
+	batches := make([][]byte, s.k)
+	for _, m := range msgs {
+		sh := s.owner(m.To)
+		if sh < 0 {
+			return fmt.Errorf("udp: message to node %d outside every span", m.To)
+		}
+		if sh == s.id || s.goDown[sh] {
+			continue
+		}
+		batches[sh] = appendMessageRecord(batches[sh], m.From, m.To, m.Payload)
+	}
+	for sh := 0; sh < s.k; sh++ {
+		if sh == s.id || s.goDown[sh] {
+			continue
+		}
+		s.sendChunkedLocked(s.peers[sh], frData, round, batches[sh])
+	}
+	return nil
+}
+
+// sendChunkedLocked splits body into maxChunk pieces (at least one, even
+// when empty) and sends them reliably. For DATA the split respects record
+// boundaries via the caller building records below maxChunk each; records
+// are far smaller than a chunk by the CONGEST bit limit.
+func (s *Shard) sendChunkedLocked(addr net.Addr, kind byte, round int, body []byte) {
+	parts := (len(body) + maxChunk - 1) / maxChunk
+	if parts == 0 {
+		parts = 1
+	}
+	for part := 0; part < parts; part++ {
+		lo := part * maxChunk
+		hi := min(lo+maxChunk, len(body))
+		chunk := appendChunkHeader(nil, part, parts)
+		chunk = append(chunk, body[lo:hi]...)
+		s.ep.sendReliable(addr, Frame{Kind: kind, Round: round, Body: chunk})
+	}
+}
+
+func (s *Shard) owner(id int) int {
+	n := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].Hi > id })
+	if n < len(s.spans) && s.spans[n].Contains(id) {
+		return n
+	}
+	return -1
+}
+
+// Gather implements congest.Transport: it waits (bounded by GatherTimeout)
+// for the round's batch from every live peer, reports the round barrier to
+// the gateway, and returns whatever arrived. Batches still missing at the
+// timeout are lost traffic — partial-round degradation, not failure; if
+// the peer is dead the gateway's barrier will mask it for the rounds that
+// follow.
+func (s *Shard) Gather(round int, allHalted bool) ([]congest.Message, error) {
+	s.ep.mu.Lock()
+	defer s.ep.mu.Unlock()
+	deadline := time.Now().Add(s.cfg.GatherTimeout)
+	_ = s.ep.waitUntil(deadline, func() bool {
+		for sh := 0; sh < s.k; sh++ {
+			if sh == s.id || s.goDown[sh] {
+				continue
+			}
+			if _, ok := s.complete[round][sh]; !ok {
+				return false
+			}
+		}
+		return true
+	})
+	var out []congest.Message
+	for sh := 0; sh < s.k; sh++ {
+		out = append(out, s.complete[round][sh]...)
+	}
+	// Close the round: anything arriving for it later is stale.
+	s.gathered = round + 1
+	delete(s.data, round)
+	delete(s.complete, round)
+
+	body := []byte{0}
+	if allHalted {
+		body[0] = 1
+	}
+	s.ep.sendReliable(s.gwAddr, Frame{Kind: frReady, Round: round, Body: body})
+	return out, nil
+}
+
+// SendResult ships the shard's encoded fragment to the gateway and blocks
+// until every frame is acknowledged (or the link dies / the timeout
+// lapses).
+func (s *Shard) SendResult(frag []byte) error {
+	s.ep.mu.Lock()
+	defer s.ep.mu.Unlock()
+	s.sendChunkedLocked(s.gwAddr, frResult, 0, frag)
+	err := s.ep.waitUntil(time.Now().Add(s.cfg.ResultTimeout), func() bool {
+		return s.gwLost || s.ep.flushedLocked()
+	})
+	if s.gwLost {
+		return fmt.Errorf("udp: shard %d: gateway link down delivering result", s.id)
+	}
+	if err != nil {
+		return fmt.Errorf("udp: shard %d: result delivery: %w", s.id, err)
+	}
+	return nil
+}
+
+// decodeBatch parses a complete DATA body into messages, validating each
+// payload against the registered wire kinds (fail closed: one bad record
+// rejects the batch, exactly like the simulator shim's framing check) and
+// each destination against the receiver's span layout.
+func decodeBatch(p []byte, fromShard int, spans []congest.Span) ([]congest.Message, error) {
+	var out []congest.Message
+	for len(p) > 0 {
+		from, to, payload, rest, err := decodeMessageRecord(p)
+		if err != nil {
+			return nil, err
+		}
+		if !spans[fromShard].Contains(from) {
+			return nil, fmt.Errorf("udp: shard %d forged sender %d", fromShard, from)
+		}
+		if _, err := congest.ValidatePayload(payload); err != nil {
+			return nil, err
+		}
+		out = append(out, congest.Message{From: from, To: to, Payload: append([]byte(nil), payload...)})
+		p = rest
+	}
+	return out, nil
+}
+
+// Control-frame body codecs.
+
+// encodeWelcome renders the fleet address book: per shard, address string
+// and node span.
+func encodeWelcome(addrs []string, spans []congest.Span) []byte {
+	var b []byte
+	for i, a := range addrs {
+		b = binary.AppendUvarint(b, uint64(len(a)))
+		b = append(b, a...)
+		b = binary.AppendUvarint(b, uint64(spans[i].Lo))
+		b = binary.AppendUvarint(b, uint64(spans[i].Hi))
+	}
+	return b
+}
+
+func decodeWelcome(p []byte, k int) ([]net.Addr, []congest.Span, error) {
+	addrs := make([]net.Addr, k)
+	spans := make([]congest.Span, k)
+	for i := 0; i < k; i++ {
+		n, w := binary.Uvarint(p)
+		if w <= 0 || n > uint64(len(p)-w) {
+			return nil, nil, fmt.Errorf("%w: welcome addr", errFrame)
+		}
+		p = p[w:]
+		addr, err := net.ResolveUDPAddr("udp", string(p[:n]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: welcome addr %q", errFrame, p[:n])
+		}
+		p = p[n:]
+		lo, w := binary.Uvarint(p)
+		if w <= 0 || lo >= frameLimit {
+			return nil, nil, fmt.Errorf("%w: welcome span", errFrame)
+		}
+		p = p[w:]
+		hi, w := binary.Uvarint(p)
+		if w <= 0 || hi >= frameLimit || hi <= lo {
+			return nil, nil, fmt.Errorf("%w: welcome span", errFrame)
+		}
+		p = p[w:]
+		addrs[i] = addr
+		spans[i] = congest.Span{Lo: int(lo), Hi: int(hi)}
+	}
+	if len(p) != 0 {
+		return nil, nil, fmt.Errorf("%w: welcome trailing bytes", errFrame)
+	}
+	return addrs, spans, nil
+}
+
+// encodeDownList renders the cumulative down-shard set carried by GO.
+func encodeDownList(down []bool) []byte {
+	var ids []uint64
+	for i, d := range down {
+		if d {
+			ids = append(ids, uint64(i))
+		}
+	}
+	b := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, id)
+	}
+	return b
+}
+
+func decodeDownList(p []byte, k int) ([]bool, error) {
+	down := make([]bool, k)
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(k) {
+		return nil, fmt.Errorf("%w: down list count", errFrame)
+	}
+	p = p[w:]
+	for i := uint64(0); i < n; i++ {
+		id, w := binary.Uvarint(p)
+		if w <= 0 || id >= uint64(k) {
+			return nil, fmt.Errorf("%w: down list id", errFrame)
+		}
+		p = p[w:]
+		down[id] = true
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: down list trailing bytes", errFrame)
+	}
+	return down, nil
+}

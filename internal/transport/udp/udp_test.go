@@ -1,0 +1,294 @@
+package udp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dfl/internal/congest"
+	"dfl/internal/core"
+	"dfl/internal/fl"
+	"dfl/internal/gen"
+)
+
+// testConfig keeps loopback test runs fast: short timers, generous budget.
+func testConfig() Config {
+	return Config{
+		Policy:        Policy{Base: 5 * time.Millisecond, Cap: 40 * time.Millisecond, Budget: 8},
+		GatherTimeout: 300 * time.Millisecond,
+		HelloTimeout:  10 * time.Second,
+		ResultTimeout: 10 * time.Second,
+	}
+}
+
+type deployOutcome struct {
+	res   *Result
+	frags []*core.Fragment
+	errs  []error
+}
+
+// deploy runs inst over k UDP shards on loopback: a gateway plus one
+// goroutine per shard (each with its own socket), optional chaos on every
+// shard socket, and an optional killer that closes a shard's transport
+// mid-run to simulate sudden death.
+func deploy(t *testing.T, inst *fl.Instance, cfg core.Config, seed int64, k int, chaosSpec string, killShard, killAfterRound int) deployOutcome {
+	t.Helper()
+	d, err := core.Derive(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.M() + inst.NC()
+	spans := congest.SplitSpans(n, k)
+	ucfg := testConfig()
+	gw, err := NewGateway("127.0.0.1:0", spans, ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	var killOnce sync.Once
+	var killMu sync.Mutex
+	var victim *Shard
+	if killShard >= 0 {
+		gw.OnRound = func(round int, down []bool) {
+			if round >= killAfterRound {
+				killOnce.Do(func() {
+					killMu.Lock()
+					v := victim
+					killMu.Unlock()
+					if v != nil {
+						v.Close()
+					}
+				})
+			}
+		}
+	}
+
+	out := deployOutcome{errs: make([]error, k)}
+	frags := make([]*core.Fragment, k)
+	var wg sync.WaitGroup
+	for i := 0; i < len(spans); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chaos, err := ParseChaos(chaosSpec)
+			if err != nil {
+				out.errs[i] = err
+				return
+			}
+			if chaos != nil {
+				chaos.Seed = seed + int64(i) + 1
+			}
+			sh, err := Dial(i, len(spans), gw.Addr(), ucfg, chaos)
+			if err != nil {
+				out.errs[i] = err
+				return
+			}
+			defer sh.Close()
+			if i == killShard {
+				killMu.Lock()
+				victim = sh
+				killMu.Unlock()
+			}
+			frag, err := core.SolveShard(inst, cfg, spans[i], seed, sh)
+			if err != nil {
+				out.errs[i] = err
+				return
+			}
+			if err := sh.SendResult(frag.Encode(nil)); err != nil {
+				out.errs[i] = err
+				return
+			}
+			frags[i] = frag
+		}(i)
+	}
+	res, err := gw.Run(d.TotalRounds + 8)
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	wg.Wait()
+	out.res = res
+	// Decode the fragments exactly as a real coordinator would: from the
+	// wire bytes the gateway collected, never from shared memory.
+	out.frags = make([]*core.Fragment, k)
+	for i, p := range res.Fragments {
+		if p == nil {
+			continue
+		}
+		frag, err := core.DecodeFragment(p, inst.M(), inst.NC())
+		if err != nil {
+			t.Fatalf("shard %d fragment: %v", i, err)
+		}
+		out.frags[i] = frag
+	}
+	return out
+}
+
+// TestDeploymentMatchesSolve is the headline acceptance criterion: a
+// fault-free loopback deployment must assemble to exactly the in-process
+// solution — same cost, same open set, same assignment — on the same
+// instance and seed.
+func TestDeploymentMatchesSolve(t *testing.T) {
+	inst, err := gen.Uniform{M: 8, NC: 30, Density: 0.5, MinDegree: 1}.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 8}
+	want, wantRep, err := core.Solve(inst, cfg, core.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := deploy(t, inst, cfg, 5, 3, "", -1, 0)
+	for i, err := range out.errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	sol, rep, err := core.Assemble(inst, cfg, out.frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost(inst) != want.Cost(inst) {
+		t.Errorf("cost diverged: udp %d vs in-proc %d", sol.Cost(inst), want.Cost(inst))
+	}
+	for i := range want.Open {
+		if want.Open[i] != sol.Open[i] {
+			t.Errorf("open set differs at facility %d", i)
+		}
+	}
+	for j := range want.Assign {
+		if want.Assign[j] != sol.Assign[j] {
+			t.Errorf("assignment differs at client %d", j)
+		}
+	}
+	if rep.Net.Messages != wantRep.Net.Messages || rep.Net.Bits != wantRep.Net.Bits {
+		t.Errorf("accounting diverged: %d msgs/%d bits vs %d msgs/%d bits",
+			rep.Net.Messages, rep.Net.Bits, wantRep.Net.Messages, wantRep.Net.Bits)
+	}
+}
+
+// TestDeploymentSurvivesChaos soaks the reliable links: with real packet
+// loss, duplication and delay on every socket, the retransmission layer
+// must still deliver every protocol message and reproduce the fault-free
+// solution bit for bit.
+func TestDeploymentSurvivesChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos deployment is slow under -short")
+	}
+	inst, err := gen.Uniform{M: 6, NC: 20, Density: 0.6, MinDegree: 1}.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 8}
+	want, _, err := core.Solve(inst, cfg, core.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := deploy(t, inst, cfg, 13, 3, "loss=0.12,dup=0.05,delay=0.05,lag=4ms,seed=99", -1, 0)
+	for i, err := range out.errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	sol, _, err := core.Assemble(inst, cfg, out.frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost(inst) != want.Cost(inst) {
+		t.Errorf("chaos changed the solution: cost %d vs %d (reliable links must mask loss entirely)",
+			sol.Cost(inst), want.Cost(inst))
+	}
+}
+
+// TestDeploymentShardDeath kills one shard's transport mid-run: the
+// gateway must declare it down, the survivors must terminate, and the
+// assembled partial solution must certify with the victim's nodes dead and
+// any stranded assignments exempted.
+func TestDeploymentShardDeath(t *testing.T) {
+	// 15 facilities over 4 shards of ~11 nodes: the victim shard [11,23)
+	// owns facilities 11-14 and clients 0-7, so its death exercises both
+	// masking paths at once.
+	inst, err := gen.Uniform{M: 15, NC: 30, Density: 0.6, MinDegree: 2}.Generate(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{K: 8}
+	out := deploy(t, inst, cfg, 7, 4, "", 1, 5)
+	for _, i := range []int{0, 2, 3} {
+		if out.errs[i] != nil {
+			t.Fatalf("survivor shard %d failed: %v", i, out.errs[i])
+		}
+	}
+	if !out.res.Down[1] {
+		t.Fatal("gateway never declared the killed shard down")
+	}
+	if out.frags[1] != nil {
+		t.Fatal("killed shard delivered a fragment")
+	}
+	sol, rep, err := core.Assemble(inst, cfg, out.frags)
+	if err != nil {
+		t.Fatalf("assembly after shard death: %v", err)
+	}
+	if err := core.Certify(inst, sol, rep); err != nil {
+		t.Fatalf("partial solution failed certification: %v", err)
+	}
+	span := congest.SplitSpans(inst.M()+inst.NC(), 4)[1]
+	if span.Lo >= inst.M() {
+		t.Fatalf("test topology regressed: victim span %+v holds no facilities", span)
+	}
+	deadF := 0
+	for _, i := range rep.DeadFacilities {
+		if span.Contains(i) && sol.Open[i] {
+			t.Errorf("victim facility %d is still open", i)
+		}
+		if span.Contains(i) {
+			deadF++
+		}
+	}
+	if got := min(span.Hi, inst.M()) - span.Lo; deadF != got {
+		t.Errorf("expected the victim's %d facilities dead, got %d (report %v)", got, deadF, rep.DeadFacilities)
+	}
+	t.Logf("survived shard death: cost %d, dead %d facilities / %d clients, %d orphaned, %d unservable",
+		rep.Cost, len(rep.DeadFacilities), len(rep.DeadClients), len(rep.OrphanedClients), len(rep.UnservableClients))
+}
+
+// TestReliableLinkRidesLoss exercises the handshake in isolation: joining
+// the fleet through 30% loss forces HELLO/WELCOME retransmissions on both
+// directions of the gateway link.
+func TestReliableLinkRidesLoss(t *testing.T) {
+	spans := []congest.Span{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}}
+	gw, err := NewGateway("127.0.0.1:0", spans, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	go gw.Run(1) // sequences the handshake; the run itself is irrelevant here
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chaos, _ := ParseChaos(fmt.Sprintf("loss=0.3,seed=%d", 42+i))
+			sh, err := Dial(i, 2, gw.Addr(), testConfig(), chaos)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("shard %d could not join through 30%% loss: %v", i, err)
+		}
+	}
+}
+
+func TestDialRejectsBadShard(t *testing.T) {
+	if _, err := Dial(3, 3, "127.0.0.1:1", Config{}, nil); err == nil {
+		t.Fatal("Dial accepted an out-of-range shard id")
+	}
+}
