@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet lint sarif test test-race bench bench-engine perf-smoke soak results quick-results examples clean
+.PHONY: all build check vet lint sarif test test-race bench bench-engine perf-smoke soak soak-respawn soak-e17 results quick-results examples clean
 
 all: build check
 
@@ -66,6 +66,20 @@ perf-smoke:
 soak:
 	go build -o bin/ ./cmd/flnode ./cmd/flsoak
 	./bin/flsoak -duration 15s -chaos loss=0.1 -kill 1
+
+# Recovery-rung soak: same churn, but victims checkpoint every round and
+# are relaunched with -resume after each SIGKILL. A readmitted shard must
+# end every run with zero exemptions in its span — a successful rejoin
+# that still orphans clients fails the soak.
+soak-respawn:
+	go build -o bin/ ./cmd/flnode ./cmd/flsoak
+	./bin/flsoak -duration 15s -chaos loss=0.1 -kill 1 -respawn
+
+# The E17 kill-round sweep (masked-forever vs checkpoint+readmit) behind
+# EXPERIMENTS.md's cost-degradation table.
+soak-e17:
+	go build -o bin/ ./cmd/flnode ./cmd/flsoak
+	./bin/flsoak -e17 -seed 4
 
 # Regenerate every table and figure (full size, ~15s) into results/.
 results:

@@ -17,6 +17,13 @@
 // same instance and seed. Kill any shard mid-run and the rest degrade
 // gracefully: the gateway masks it down and the assembled solution
 // certifies with the victim's clients as exemptions.
+//
+// With -checkpoint FILE a shard snapshots a resumable image every
+// -checkpoint-every rounds; relaunching it with -resume rejoins the fleet
+// from that image under a fresh incarnation, and if the gateway admits it
+// within -admit-window rounds of the death the outage degrades to
+// transient packet loss — the run ends with zero exemptions instead of a
+// masked span.
 package main
 
 import (
@@ -54,6 +61,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		chaosSpec  = fs.String("chaos", "", "packet chaos on this shard's socket, e.g. loss=0.1,dup=0.05,delay=0.05,lag=5ms")
 		roundDelay = fs.Duration("round-delay", 0, "artificial pause per round (stretches runs for churn testing)")
 		showSol    = fs.Bool("solution", false, "gateway: print open facilities and assignments")
+		ckptFile   = fs.String("checkpoint", "", "shard: write a resumable checkpoint image to this file")
+		ckptEvery  = fs.Int("checkpoint-every", 1, "shard: checkpoint cadence in rounds (1 keeps resume loss-equivalent)")
+		resume     = fs.Bool("resume", false, "shard: resume from -checkpoint instead of starting fresh (rejoins the fleet)")
+		admitWin   = fs.Int("admit-window", 0, "gateway: rounds a down shard may rejoin within (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,20 +92,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	switch *role {
 	case "gateway":
-		return runGateway(stdout, inst, cfg, spans, *listen, *showSol)
+		return runGateway(stdout, inst, cfg, spans, *listen, *admitWin, *showSol)
 	case "shard":
-		return runShard(stdout, inst, cfg, spans, *id, *gateway, *seed, *chaosSpec, *roundDelay)
+		return runShard(stdout, inst, cfg, spans, *id, *gateway, *seed, *chaosSpec, *roundDelay,
+			shardCkpt{file: *ckptFile, every: *ckptEvery, resume: *resume})
 	default:
 		return fmt.Errorf("-role must be gateway or shard, got %q", *role)
 	}
 }
 
-func runGateway(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []congest.Span, listen string, showSol bool) error {
+func runGateway(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []congest.Span, listen string, admitWin int, showSol bool) error {
 	d, err := core.Derive(inst, cfg)
 	if err != nil {
 		return err
 	}
-	gw, err := udp.NewGateway(listen, spans, udp.Config{})
+	gw, err := udp.NewGateway(listen, spans, udp.Config{AdmitWindow: admitWin})
 	if err != nil {
 		return err
 	}
@@ -140,18 +152,52 @@ func runGateway(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []co
 	return nil
 }
 
-func runShard(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []congest.Span, id int, gateway string, seed int64, chaosSpec string, roundDelay time.Duration) error {
+// shardCkpt bundles the shard role's checkpoint/resume options.
+type shardCkpt struct {
+	file   string
+	every  int
+	resume bool
+}
+
+func runShard(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []congest.Span, id int, gateway string, seed int64, chaosSpec string, roundDelay time.Duration, ck shardCkpt) error {
 	if gateway == "" {
 		return fmt.Errorf("role shard needs -gateway")
 	}
 	if id < 0 || id >= len(spans) {
 		return fmt.Errorf("-id %d outside [0,%d)", id, len(spans))
 	}
+	if ck.resume && ck.file == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
 	chaos, err := udp.ParseChaos(chaosSpec)
 	if err != nil {
 		return err
 	}
-	sh, err := udp.Dial(id, len(spans), gateway, udp.Config{}, chaos)
+	ckCfg := core.CheckpointConfig{}
+	if ck.file != "" {
+		ckCfg = core.CheckpointConfig{Every: ck.every, Sink: core.NewFileSink(ck.file)}
+	}
+
+	var image []byte
+	resumeRound := 0
+	if ck.resume {
+		image, err = os.ReadFile(ck.file)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		ckpt, err := core.DecodeCheckpoint(image)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		resumeRound = ckpt.Rounds()
+	}
+
+	var sh *udp.Shard
+	if ck.resume {
+		sh, err = udp.Rejoin(id, len(spans), gateway, resumeRound, udp.Config{}, chaos)
+	} else {
+		sh, err = udp.Dial(id, len(spans), gateway, udp.Config{}, chaos)
+	}
 	if err != nil {
 		return err
 	}
@@ -160,14 +206,28 @@ func runShard(stdout io.Writer, inst *fl.Instance, cfg core.Config, spans []cong
 	if roundDelay > 0 {
 		tr = slowTransport{Transport: sh, delay: roundDelay}
 	}
-	frag, err := core.SolveShard(inst, cfg, spans[id], seed, tr)
+
+	var frag *core.Fragment
+	switch {
+	case ck.resume:
+		frag, err = core.ResumeShard(inst, cfg, spans[id], seed, image, tr, ckCfg)
+	case ckCfg.Sink != nil:
+		frag, err = core.SolveShardCheckpointed(inst, cfg, spans[id], seed, tr, ckCfg)
+	default:
+		frag, err = core.SolveShard(inst, cfg, spans[id], seed, tr)
+	}
 	if err != nil {
 		return err
 	}
 	if err := sh.SendResult(frag.Encode(nil)); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "shard %d done rounds=%d messages=%d\n", id, frag.Stats.Rounds, frag.Stats.Messages)
+	if ck.resume {
+		fmt.Fprintf(stdout, "shard %d resumed from round %d, readmitted at round %d, done rounds=%d messages=%d\n",
+			id, resumeRound, sh.AdmitRound(), frag.Stats.Rounds, frag.Stats.Messages)
+	} else {
+		fmt.Fprintf(stdout, "shard %d done rounds=%d messages=%d\n", id, frag.Stats.Rounds, frag.Stats.Messages)
+	}
 	return nil
 }
 

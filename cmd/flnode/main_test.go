@@ -83,10 +83,12 @@ func startGateway(t *testing.T, bin, instFile string, shards int) (*exec.Cmd, st
 	return cmd, fields[1], &buf, drained
 }
 
-func startShard(t *testing.T, bin, instFile, gwAddr string, id, shards int, delay string) *exec.Cmd {
+func startShard(t *testing.T, bin, instFile, gwAddr string, id, shards int, delay string, extra ...string) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin, "-role", "shard", "-id", fmt.Sprint(id), "-shards", fmt.Sprint(shards),
-		"-gateway", gwAddr, "-in", instFile, "-k", "8", "-seed", "5", "-round-delay", delay)
+	args := []string{"-role", "shard", "-id", fmt.Sprint(id), "-shards", fmt.Sprint(shards),
+		"-gateway", gwAddr, "-in", instFile, "-k", "8", "-seed", "5", "-round-delay", delay}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -186,5 +188,65 @@ func TestFleetSurvivesSigkill(t *testing.T) {
 	// shard, orphaned, or unservable), never as silently dropped work.
 	if strings.Contains(text, "dead_facilities=0 dead_clients=0 orphaned=0 unservable=0") {
 		t.Fatalf("kill left no trace in the exemption accounting:\n%s", text)
+	}
+}
+
+// TestFleetCheckpointRestart is the tentpole e2e: a checkpointing flnode is
+// SIGKILLed mid-run, a fresh process is launched with -resume from its
+// checkpoint file, and the fleet must finish with ZERO exemptions — the
+// crash degraded to transient loss, not a masked span.
+func TestFleetCheckpointRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e is slow under -short")
+	}
+	bin := buildFlnode(t)
+	inst, err := gen.Uniform{M: 12, NC: 40, Density: 0.6, MinDegree: 2}.Generate(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instFile := writeInstance(t, inst)
+	ckptFile := filepath.Join(t.TempDir(), "shard1.ckpt")
+	const shards = 3
+	gw, addr, out, drained := startGateway(t, bin, instFile, shards)
+	defer gw.Process.Kill()
+	var procs []*exec.Cmd
+	for i := 0; i < shards; i++ {
+		extra := []string(nil)
+		if i == 1 {
+			extra = []string{"-checkpoint", ckptFile}
+		}
+		procs = append(procs, startShard(t, bin, instFile, addr, i, shards, "20ms", extra...))
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}()
+	// Let the run get under way and the victim write checkpoints, then
+	// kill it outright and relaunch its successor from the image.
+	time.Sleep(700 * time.Millisecond)
+	if err := procs[1].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("sigkill: %v", err)
+	}
+	procs[1].Wait()
+	if _, err := os.Stat(ckptFile); err != nil {
+		t.Fatalf("victim left no checkpoint: %v", err)
+	}
+	procs[1] = startShard(t, bin, instFile, addr, 1, shards, "0s", "-checkpoint", ckptFile, "-resume")
+	<-drained
+	if err := gw.Wait(); err != nil {
+		t.Fatalf("gateway did not certify after the restart: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "certified cost=") {
+		t.Fatalf("no certified solution after the restart:\n%s", text)
+	}
+	if strings.Contains(text, "shard 1: down") {
+		t.Fatalf("readmitted shard still reported down:\n%s", text)
+	}
+	// The whole point of the rung: the crash left no exemption behind.
+	if !strings.Contains(text, "dead_facilities=0 dead_clients=0 orphaned=0 unservable=0") {
+		t.Fatalf("restart did not erase the outage:\n%s", text)
 	}
 }

@@ -8,6 +8,18 @@
 //
 //	flsoak -duration 15s -chaos loss=0.1 -kill 1
 //
+// With -respawn the harness exercises the recovery rung instead of the
+// masking rung: victims checkpoint every round, and after the SIGKILL a
+// successor process is launched with -resume after a randomized delay. A
+// victim the gateway readmits must leave NO exemptions in its span — the
+// soak fails if a recovered shard's clients end the run dead or orphaned.
+//
+// Every deployment also emits one machine-readable JSON summary line
+// (victims, kill/rejoin rounds, exemption counts, cost ratio against the
+// in-process fault-free baseline) so dashboards can scrape soak logs.
+// -e17 replaces the duration loop with the E17 sweep: one masked and one
+// respawned deployment per kill round, as a markdown table.
+//
 // The harness hosts the gateway in-process (so it can schedule kills by
 // round and certify fragments directly) and execs the flnode binary for
 // the shard fleet; -flnode overrides discovery (sibling of the flsoak
@@ -15,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,17 +56,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flsoak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		duration   = fs.Duration("duration", 15*time.Second, "keep launching deployments until this much time has passed")
-		shards     = fs.Int("shards", 3, "shard processes per deployment")
-		m          = fs.Int("m", 12, "facilities per generated instance")
-		nc         = fs.Int("nc", 48, "clients per generated instance")
-		k          = fs.Int("k", 16, "protocol trade-off parameter")
-		seed       = fs.Int64("seed", 1, "base seed (instance i uses seed+i)")
-		chaosSpec  = fs.String("chaos", "loss=0.1", "packet chaos per shard socket ('' disables)")
-		kills      = fs.Int("kill", 1, "shards to SIGKILL per deployment (capped at shards-1)")
-		roundDelay = fs.Duration("round-delay", 15*time.Millisecond, "per-round pause on shards, widens the kill window")
-		flnodeBin  = fs.String("flnode", "", "path to the flnode binary (default: sibling of flsoak, then $PATH)")
-		runTimeout = fs.Duration("run-timeout", 2*time.Minute, "watchdog per deployment; tripping it is a hang and fails the soak")
+		duration     = fs.Duration("duration", 15*time.Second, "keep launching deployments until this much time has passed")
+		shards       = fs.Int("shards", 3, "shard processes per deployment")
+		m            = fs.Int("m", 12, "facilities per generated instance")
+		nc           = fs.Int("nc", 48, "clients per generated instance")
+		k            = fs.Int("k", 16, "protocol trade-off parameter")
+		seed         = fs.Int64("seed", 1, "base seed (instance i uses seed+i)")
+		chaosSpec    = fs.String("chaos", "loss=0.1", "packet chaos per shard socket ('' disables)")
+		kills        = fs.Int("kill", 1, "shards to SIGKILL per deployment (capped at shards-1)")
+		roundDelay   = fs.Duration("round-delay", 15*time.Millisecond, "per-round pause on shards, widens the kill window")
+		flnodeBin    = fs.String("flnode", "", "path to the flnode binary (default: sibling of flsoak, then $PATH)")
+		runTimeout   = fs.Duration("run-timeout", 2*time.Minute, "watchdog per deployment; tripping it is a hang and fails the soak")
+		respawn      = fs.Bool("respawn", false, "checkpoint victims and relaunch them with -resume after the kill")
+		respawnDelay = fs.Duration("respawn-delay", 200*time.Millisecond, "upper bound on the randomized pause before a victim's successor launches")
+		e17          = fs.Bool("e17", false, "run the E17 kill-round sweep (masked vs respawned) instead of the duration loop")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,23 +81,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *kills >= *shards {
 		*kills = *shards - 1
 	}
+	base := runCfg{
+		shards: *shards, m: *m, nc: *nc, k: *k, kills: *kills,
+		chaos: *chaosSpec, roundDelay: *roundDelay, timeout: *runTimeout,
+		respawn: *respawn, respawnDelay: *respawnDelay, killRound: -1, victim: -1,
+	}
+	if *e17 {
+		return runE17(stdout, bin, base, *seed)
+	}
 	start := time.Now()
 	runs, killed, failures := 0, 0, 0
 	for time.Since(start) < *duration {
-		res, err := soakOnce(stdout, bin, runCfg{
-			run: runs, shards: *shards, m: *m, nc: *nc, k: *k,
-			seed: *seed + int64(runs), chaos: *chaosSpec, kills: *kills,
-			roundDelay: *roundDelay, timeout: *runTimeout,
-		})
+		c := base
+		c.run = runs
+		c.seed = *seed + int64(runs)
+		res, err := soakOnce(stdout, bin, c)
 		runs++
-		killed += res.killed
+		killed += len(res.kills)
+		emitSummary(stdout, c, res, err)
 		if err != nil {
 			failures++
 			fmt.Fprintf(stdout, "run %d: FAIL: %v\n", runs-1, err)
 			continue
 		}
 		fmt.Fprintf(stdout, "run %d: certified cost=%d rounds=%d kills=%d down=%v dead_clients=%d orphaned=%d unservable=%d\n",
-			runs-1, res.rep.Cost, res.rounds, res.killed, res.down,
+			runs-1, res.rep.Cost, res.rounds, len(res.kills), res.down,
 			len(res.rep.DeadClients), len(res.rep.OrphanedClients), len(res.rep.UnservableClients))
 	}
 	fmt.Fprintf(stdout, "soak: %d runs, %d kills, %d failures in %v\n", runs, killed, failures, time.Since(start).Round(time.Millisecond))
@@ -94,68 +118,219 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// runE17 is the kill-round sweep behind the E17 table: the same instance
+// and victim killed at increasing rounds, once with the victim masked
+// forever and once with its successor readmitted, reporting cost
+// degradation against the fault-free baseline in each regime.
+func runE17(stdout io.Writer, bin string, base runCfg, seed int64) error {
+	inst, err := gen.Uniform{M: base.m, NC: base.nc, Density: 0.5, MinDegree: 2}.Generate(seed)
+	if err != nil {
+		return err
+	}
+	d, err := core.Derive(inst, core.Config{K: base.k})
+	if err != nil {
+		return err
+	}
+	killRounds := []int{2, d.ProtoRounds / 4, d.ProtoRounds / 2, 3 * d.ProtoRounds / 4, d.ProtoRounds - 1}
+	fmt.Fprintf(stdout, "E17: m=%d nc=%d k=%d seed=%d proto_rounds=%d chaos=%q\n",
+		base.m, base.nc, base.k, seed, d.ProtoRounds, base.chaos)
+	fmt.Fprintln(stdout, "| kill round | masked ratio | masked exempt | respawn ratio | respawn exempt | rejoin round |")
+	fmt.Fprintln(stdout, "|-----------|--------------|---------------|---------------|----------------|--------------|")
+	run := 0
+	for _, kr := range killRounds {
+		row := [2]soakResult{}
+		for mode, doRespawn := range []bool{false, true} {
+			c := base
+			c.run, c.seed, c.kills, c.killRound, c.respawn = run, seed, 1, kr, doRespawn
+			c.victim = 1 // pinned: rows must compare the same span, and span 0 (all facilities at small m) masks degenerately to cost 0
+			run++
+			res, err := soakOnce(stdout, bin, c)
+			emitSummary(stdout, c, res, err)
+			if err != nil {
+				return fmt.Errorf("kill round %d (respawn=%v): %w", kr, doRespawn, err)
+			}
+			row[mode] = res
+		}
+		rejoin := "-"
+		if len(row[1].kills) > 0 && row[1].kills[0].RejoinRound >= 0 {
+			rejoin = fmt.Sprint(row[1].kills[0].RejoinRound)
+		}
+		fmt.Fprintf(stdout, "| %d | %.3f | %d | %.3f | %d | %s |\n",
+			kr, row[0].costRatio, exemptCount(row[0].rep), row[1].costRatio, exemptCount(row[1].rep), rejoin)
+	}
+	return nil
+}
+
+func exemptCount(rep *core.Report) int {
+	return len(rep.DeadFacilities) + len(rep.DeadClients) + len(rep.OrphanedClients)
+}
+
 type runCfg struct {
 	run, shards, m, nc, k, kills int
 	seed                         int64
 	chaos                        string
 	roundDelay                   time.Duration
 	timeout                      time.Duration
+	respawn                      bool
+	respawnDelay                 time.Duration
+	killRound                    int // -1: random round inside the phase sweep
+	victim                       int // -1: rotate victims with the run index
 }
 
-type runResult struct {
-	rep    *core.Report
-	rounds int
-	killed int
-	down   []int
+// killRecord traces one victim through the run for the JSON summary.
+type killRecord struct {
+	Shard       int `json:"shard"`
+	KillRound   int `json:"kill_round"`
+	RejoinRound int `json:"rejoin_round"` // -1: never readmitted
+	Incarnation int `json:"incarnation"`
+}
+
+type soakResult struct {
+	rep       *core.Report
+	rounds    int
+	kills     []killRecord
+	down      []int
+	baseline  int64
+	costRatio float64
+	fenced    int64
+	rejected  int64
+}
+
+// summaryLine is the per-run machine-readable record: one JSON object per
+// deployment, scrapeable from soak logs.
+type summaryLine struct {
+	Run        int          `json:"run"`
+	Seed       int64        `json:"seed"`
+	OK         bool         `json:"ok"`
+	Error      string       `json:"error,omitempty"`
+	Respawn    bool         `json:"respawn"`
+	Cost       int64        `json:"cost"`
+	Baseline   int64        `json:"baseline"`
+	CostRatio  float64      `json:"cost_ratio"`
+	Rounds     int          `json:"rounds"`
+	Kills      []killRecord `json:"kills"`
+	DeadFac    int          `json:"dead_facilities"`
+	DeadCli    int          `json:"dead_clients"`
+	Orphaned   int          `json:"orphaned"`
+	Unservable int          `json:"unservable"`
+	Fenced     int64        `json:"fenced"`
+	Rejected   int64        `json:"rejected"`
+}
+
+func emitSummary(stdout io.Writer, c runCfg, res soakResult, runErr error) {
+	s := summaryLine{
+		Run: c.run, Seed: c.seed, OK: runErr == nil, Respawn: c.respawn,
+		Baseline: res.baseline, CostRatio: res.costRatio, Rounds: res.rounds,
+		Kills: res.kills, Fenced: res.fenced, Rejected: res.rejected,
+	}
+	if runErr != nil {
+		s.Error = runErr.Error()
+	}
+	if res.rep != nil {
+		s.Cost = res.rep.Cost
+		s.DeadFac = len(res.rep.DeadFacilities)
+		s.DeadCli = len(res.rep.DeadClients)
+		s.Orphaned = len(res.rep.OrphanedClients)
+		s.Unservable = len(res.rep.UnservableClients)
+	}
+	if s.Kills == nil {
+		s.Kills = []killRecord{}
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(stdout, "summary %s\n", b)
 }
 
 // soakOnce executes one deployment: generate an instance, host the
-// gateway, exec the shard fleet, kill victims mid-run, assemble, certify.
-func soakOnce(stdout io.Writer, bin string, c runCfg) (runResult, error) {
+// gateway, exec the shard fleet, kill victims mid-run (respawning their
+// successors when configured), assemble, certify.
+func soakOnce(stdout io.Writer, bin string, c runCfg) (soakResult, error) {
 	inst, err := gen.Uniform{M: c.m, NC: c.nc, Density: 0.5, MinDegree: 2}.Generate(c.seed)
 	if err != nil {
-		return runResult{}, err
+		return soakResult{}, err
 	}
 	d, err := core.Derive(inst, core.Config{K: c.k})
 	if err != nil {
-		return runResult{}, err
+		return soakResult{}, err
 	}
+	// The fault-free baseline the JSON summary prices degradation against.
+	baseSol, _, err := core.Solve(inst, core.Config{K: c.k}, core.WithSeed(c.seed))
+	if err != nil {
+		return soakResult{}, err
+	}
+	baseline := baseSol.Cost(inst)
 	dir, err := os.MkdirTemp("", "flsoak")
 	if err != nil {
-		return runResult{}, err
+		return soakResult{}, err
 	}
 	defer os.RemoveAll(dir)
 	instFile := filepath.Join(dir, "instance.ufl")
 	f, err := os.Create(instFile)
 	if err != nil {
-		return runResult{}, err
+		return soakResult{}, err
 	}
 	if err := fl.Write(f, inst); err != nil {
 		f.Close()
-		return runResult{}, err
+		return soakResult{}, err
 	}
 	f.Close()
 
 	spans := congest.SplitSpans(c.m+c.nc, c.shards)
 	gw, err := udp.NewGateway("127.0.0.1:0", spans, udp.Config{})
 	if err != nil {
-		return runResult{}, err
+		return soakResult{}, err
 	}
 	defer gw.Close()
 
 	// Kill schedule: each victim dies at a random round inside the phase
-	// sweep, so deaths land while state is still being negotiated.
+	// sweep (or the fixed -e17 round), so deaths land while state is
+	// still being negotiated.
 	rng := rand.New(rand.NewSource(c.seed))
 	killAt := make(map[int]int) // round -> shard
+	isVictim := make([]bool, c.shards)
 	for v := 0; v < c.kills; v++ {
 		victim := (c.run + v) % c.shards
-		round := 2 + rng.Intn(max(d.ProtoRounds-2, 1))
-		killAt[round] = victim
+		if c.victim >= 0 {
+			victim = (c.victim + v) % c.shards
+		}
+		round := c.killRound
+		if round < 0 {
+			round = 2 + rng.Intn(max(d.ProtoRounds-2, 1))
+		}
+		killAt[round+v] = victim
+		isVictim[victim] = true
+	}
+	ckptFile := func(shard int) string {
+		return filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", shard))
+	}
+	shardArgs := func(shard int, resume bool) []string {
+		args := []string{
+			"-role", "shard",
+			"-id", fmt.Sprint(shard),
+			"-shards", fmt.Sprint(c.shards),
+			"-gateway", gw.Addr(),
+			"-in", instFile,
+			"-k", fmt.Sprint(c.k),
+			"-seed", fmt.Sprint(c.seed),
+			"-chaos", shardChaos(c.chaos, c.seed, shard),
+			"-round-delay", c.roundDelay.String(),
+		}
+		if c.respawn && isVictim[shard] {
+			args = append(args, "-checkpoint", ckptFile(shard))
+		}
+		if resume {
+			args = append(args, "-resume")
+		}
+		return args
 	}
 
 	procs := make([]*exec.Cmd, c.shards)
 	var procMu sync.Mutex
-	killedCount := 0
+	closed := false // set once reaping starts; respawns after that would leak
+	var kills []killRecord
+	var respawnWG sync.WaitGroup
 	gw.OnRound = func(round int, down []bool) {
 		victim, ok := killAt[round]
 		if !ok {
@@ -163,37 +338,54 @@ func soakOnce(stdout io.Writer, bin string, c runCfg) (runResult, error) {
 		}
 		procMu.Lock()
 		defer procMu.Unlock()
-		if p := procs[victim]; p != nil && p.Process != nil {
-			if err := p.Process.Kill(); err == nil {
-				killedCount++
-				fmt.Fprintf(stdout, "run %d: SIGKILL shard %d at round %d\n", c.run, victim, round)
-			}
+		p := procs[victim]
+		if p == nil || p.Process == nil {
+			return
 		}
+		if err := p.Process.Kill(); err != nil {
+			return
+		}
+		kills = append(kills, killRecord{Shard: victim, KillRound: round, RejoinRound: -1, Incarnation: 1})
+		fmt.Fprintf(stdout, "run %d: SIGKILL shard %d at round %d\n", c.run, victim, round)
+		if !c.respawn {
+			return
+		}
+		delay := time.Duration(rng.Int63n(int64(c.respawnDelay) + 1))
+		respawnWG.Add(1)
+		go func() {
+			defer respawnWG.Done()
+			p.Wait() // reap the victim before its successor binds
+			time.Sleep(delay)
+			cmd := exec.Command(bin, shardArgs(victim, true)...)
+			cmd.Stdout = io.Discard
+			cmd.Stderr = io.Discard
+			procMu.Lock()
+			defer procMu.Unlock()
+			if closed {
+				return
+			}
+			if err := cmd.Start(); err != nil {
+				fmt.Fprintf(stdout, "run %d: respawn shard %d failed: %v\n", c.run, victim, err)
+				return
+			}
+			procs[victim] = cmd
+			fmt.Fprintf(stdout, "run %d: respawned shard %d after %v\n", c.run, victim, delay.Round(time.Millisecond))
+		}()
 	}
 
 	for i := 0; i < c.shards; i++ {
-		cmd := exec.Command(bin,
-			"-role", "shard",
-			"-id", fmt.Sprint(i),
-			"-shards", fmt.Sprint(c.shards),
-			"-gateway", gw.Addr(),
-			"-in", instFile,
-			"-k", fmt.Sprint(c.k),
-			"-seed", fmt.Sprint(c.seed),
-			"-chaos", shardChaos(c.chaos, c.seed, i),
-			"-round-delay", c.roundDelay.String(),
-		)
+		cmd := exec.Command(bin, shardArgs(i, false)...)
 		cmd.Stdout = io.Discard
 		cmd.Stderr = io.Discard
 		if err := cmd.Start(); err != nil {
-			reap(procs)
-			return runResult{}, fmt.Errorf("start shard %d: %w", i, err)
+			reap(procs, &procMu, &closed)
+			return soakResult{}, fmt.Errorf("start shard %d: %w", i, err)
 		}
 		procMu.Lock()
 		procs[i] = cmd
 		procMu.Unlock()
 	}
-	defer reap(procs)
+	defer reap(procs, &procMu, &closed)
 
 	// Watchdog: a hang is a failure, never a stuck CI job.
 	watchdog := time.AfterFunc(c.timeout, func() {
@@ -209,19 +401,26 @@ func soakOnce(stdout io.Writer, bin string, c runCfg) (runResult, error) {
 	defer watchdog.Stop()
 
 	res, err := gw.Run(d.TotalRounds + 8)
+	respawnWG.Wait()
+	out := soakResult{kills: kills, baseline: baseline}
 	if err != nil {
-		return runResult{killed: killedCount}, fmt.Errorf("gateway: %w", err)
+		return out, fmt.Errorf("gateway: %w", err)
+	}
+	out.rounds, out.fenced, out.rejected = res.Rounds, res.Fenced, res.Rejected
+	for i := range kills {
+		v := kills[i].Shard
+		kills[i].RejoinRound = res.AdmitRounds[v]
+		kills[i].Incarnation = int(res.Incarnations[v])
 	}
 	frags := make([]*core.Fragment, c.shards)
-	var downIDs []int
 	for i, p := range res.Fragments {
 		if p == nil {
-			downIDs = append(downIDs, i)
+			out.down = append(out.down, i)
 			continue
 		}
 		frag, err := core.DecodeFragment(p, inst.M(), inst.NC())
 		if err != nil {
-			return runResult{killed: killedCount}, fmt.Errorf("shard %d fragment: %w", i, err)
+			return out, fmt.Errorf("shard %d fragment: %w", i, err)
 		}
 		frags[i] = frag
 	}
@@ -230,9 +429,37 @@ func soakOnce(stdout io.Writer, bin string, c runCfg) (runResult, error) {
 	// and the kills did.
 	_, rep, err := core.Assemble(inst, core.Config{K: c.k}, frags)
 	if err != nil {
-		return runResult{killed: killedCount}, err
+		return out, err
 	}
-	return runResult{rep: rep, rounds: res.Rounds, killed: killedCount, down: downIDs}, nil
+	out.rep = rep
+	if baseline > 0 {
+		out.costRatio = float64(rep.Cost) / float64(baseline)
+	}
+	// The recovery rung's invariant: a victim the gateway READMITTED must
+	// end the run indistinguishable from a survivor — no exemption of any
+	// class may land in its span.
+	for _, kr := range kills {
+		if kr.RejoinRound < 0 {
+			continue
+		}
+		span := spans[kr.Shard]
+		for _, i := range rep.DeadFacilities {
+			if span.Contains(i) {
+				return out, fmt.Errorf("readmitted shard %d left dead facility %d", kr.Shard, i)
+			}
+		}
+		for _, j := range rep.DeadClients {
+			if span.Contains(inst.M() + j) {
+				return out, fmt.Errorf("readmitted shard %d left dead client %d", kr.Shard, j)
+			}
+		}
+		for _, j := range rep.OrphanedClients {
+			if span.Contains(inst.M() + j) {
+				return out, fmt.Errorf("readmitted shard %d left orphaned client %d", kr.Shard, j)
+			}
+		}
+	}
+	return out, nil
 }
 
 // shardChaos gives each shard a distinct chaos seed so fleets don't drop
@@ -244,8 +471,12 @@ func shardChaos(spec string, seed int64, shard int) string {
 	return fmt.Sprintf("%s,seed=%d", spec, seed*31+int64(shard)+1)
 }
 
-func reap(procs []*exec.Cmd) {
-	for _, p := range procs {
+func reap(procs []*exec.Cmd, mu *sync.Mutex, closed *bool) {
+	mu.Lock()
+	*closed = true
+	snapshot := append([]*exec.Cmd(nil), procs...)
+	mu.Unlock()
+	for _, p := range snapshot {
 		if p == nil {
 			continue
 		}

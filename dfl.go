@@ -155,6 +155,12 @@ type (
 	Transport = congest.Transport
 	// Span is one shard's contiguous range of node ids.
 	Span = congest.Span
+	// Message is one protocol message in flight between two nodes; custom
+	// Transports carry these, and Checkpoint.Log records the remote ones.
+	Message = congest.Message
+	// RoundStart is what Transport.Begin reports: whether the fleet
+	// halted, which nodes went down, and which were readmitted.
+	RoundStart = congest.RoundStart
 	// Fragment is one shard's share of a distributed run: span-local node
 	// state plus network stats, with a compact wire codec (Encode /
 	// DecodeShardFragment).
@@ -188,6 +194,47 @@ func SolveShard(inst *Instance, cfg DistConfig, span Span, seed int64, tr Transp
 // instance with m facilities and nc clients.
 func DecodeShardFragment(p []byte, m, nc int) (*Fragment, error) {
 	return core.DecodeFragment(p, m, nc)
+}
+
+// Shard checkpoint and restart (see DESIGN.md §15): a checkpointed shard
+// can be killed and resumed bit-identically from its last image, and the
+// UDP gateway readmits the successor under a fresh incarnation.
+type (
+	// Checkpoint is a decoded resumable image: the shard's identity plus
+	// the replay log of remote inbound messages per completed round.
+	Checkpoint = core.Checkpoint
+	// CheckpointSink receives encoded checkpoint images as a shard runs;
+	// NewFileSink writes them atomically to a file.
+	CheckpointSink = core.CheckpointSink
+	// CheckpointConfig sets the cadence (Every, in rounds) and destination
+	// of a shard's checkpoints. Every=1 keeps a crash loss-equivalent to a
+	// transient network outage.
+	CheckpointConfig = core.CheckpointConfig
+)
+
+// NewFileSink returns a CheckpointSink that writes each image to path via
+// an atomic tmp-file rename, so a crash mid-write never corrupts the
+// previous image.
+func NewFileSink(path string) CheckpointSink { return core.NewFileSink(path) }
+
+// SolveShardCheckpointed is SolveShard plus checkpointing: every cfg.Every
+// rounds the shard's resumable image is handed to the sink. A sink error
+// fails the run (fail-closed: no silent gaps in the recovery chain).
+func SolveShardCheckpointed(inst *Instance, cfg DistConfig, span Span, seed int64, tr Transport, ck CheckpointConfig) (*Fragment, error) {
+	return core.SolveShardCheckpointed(inst, cfg, span, seed, tr, ck)
+}
+
+// DecodeShardCheckpoint parses a checkpoint image (fail-closed).
+func DecodeShardCheckpoint(p []byte) (*Checkpoint, error) {
+	return core.DecodeCheckpoint(p)
+}
+
+// ResumeShard restarts a shard from a checkpoint image: recorded rounds
+// replay locally (bit-identically — same RNG draws, same decisions), then
+// the shard continues live on tr. The image's identity header must match
+// the deployment exactly; any mismatch is rejected before replay.
+func ResumeShard(inst *Instance, cfg DistConfig, span Span, seed int64, image []byte, tr Transport, ck CheckpointConfig) (*Fragment, error) {
+	return core.ResumeShard(inst, cfg, span, seed, image, tr, ck)
 }
 
 // AssembleShards combines per-shard fragments into a certified solution.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"dfl/internal/congest"
@@ -63,6 +64,47 @@ func FuzzDecodeBeacon(f *testing.F) {
 		open2, ok2 := decodeBeacon(encodeBeacon(nil, open))
 		if !ok2 || open2 != open {
 			t.Fatalf("round-trip diverged: open=%v -> open=%v ok=%v", open, open2, ok2)
+		}
+	})
+}
+
+// FuzzCheckpointDecode drives the checkpoint decoder with raw bytes: no
+// panic, no over-allocation on lying length fields, and every accepted
+// decode must satisfy the documented range invariants and survive an
+// encode/decode round trip unchanged.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{ckptVersion})
+	f.Add((&Checkpoint{Span: congest.Span{Lo: 0, Hi: 2}, M: 3, NC: 2, K: 4, Seed: 7}).Encode(nil))
+	f.Add((&Checkpoint{Span: congest.Span{Lo: 1, Hi: 3}, M: 3, NC: 2, K: 4, Seed: -1,
+		Log: [][]congest.Message{{}, {}}}).Encode(nil))
+	f.Add([]byte{ckptVersion, 0, 2, 3, 2, 4, 14, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		ck, err := DecodeCheckpoint(p)
+		if err != nil {
+			return
+		}
+		if ck.Span.Lo >= ck.Span.Hi || ck.Span.Hi > ck.M+ck.NC {
+			t.Fatalf("accepted checkpoint with invalid span %+v", ck)
+		}
+		for r, msgs := range ck.Log {
+			for _, msg := range msgs {
+				if ck.Span.Contains(msg.From) || msg.From >= ck.M+ck.NC || !ck.Span.Contains(msg.To) {
+					t.Fatalf("accepted checkpoint with out-of-contract message %d->%d in round %d", msg.From, msg.To, r)
+				}
+				if _, err := congest.ValidatePayload(msg.Payload); err != nil {
+					t.Fatalf("accepted checkpoint with invalid payload in round %d: %v", r, err)
+				}
+			}
+		}
+		enc := ck.Encode(nil)
+		ck2, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted checkpoint rejected: %v", err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("round-trip diverged:\n got  %+v\n want %+v", ck2, ck)
 		}
 	})
 }

@@ -50,8 +50,13 @@ type Fragment struct {
 // transport delivers every message, so a fault-free deployment reproduces
 // Solve's solution exactly. Faults are whatever the real network does —
 // lost datagrams degrade the run like injected drops, and the repair tail
-// plus Assemble's masking absorb dead peers.
+// plus Assemble's masking absorb dead peers. For a shard that should
+// survive being killed, use SolveShardCheckpointed and ResumeShard.
 func SolveShard(inst *fl.Instance, cfg Config, span congest.Span, seed int64, tr congest.Transport) (*Fragment, error) {
+	return solveShardOn(inst, cfg, span, seed, tr)
+}
+
+func solveShardOn(inst *fl.Instance, cfg Config, span congest.Span, seed int64, tr congest.Transport) (*Fragment, error) {
 	if cfg.SoftCapacity > 0 {
 		return nil, errors.New("core: SolveShard is uncapacitated")
 	}

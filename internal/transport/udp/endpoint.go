@@ -56,12 +56,23 @@ type endpoint struct {
 	links  map[string]*link
 	closed bool
 
+	// inc is this party's own incarnation, stamped on every outgoing frame.
+	// Gateways are always 1; shards start at 1 (or 0 while rejoining, until
+	// ADMIT assigns the real number). Guarded by mu.
+	inc uint64
+	// incOf reports the expected incarnation of a sending shard, or 0 for
+	// unknown (which fences everything but ACK and REJOIN — an unknown peer
+	// has no business delivering state). Nil disables fencing. Called with
+	// mu held.
+	incOf func(shard int) uint64
+
 	// handler consumes each deduplicated non-ack frame; set before serve.
 	handler func(from net.Addr, f Frame)
 	// onDown observes a peer link exhausting its retry budget.
 	onDown func(l *link, e congest.LinkDownError)
 
 	rejected int64 // malformed datagrams discarded fail-closed
+	fenced   int64 // frames dropped for a stale or unknown incarnation
 
 	wg     sync.WaitGroup
 	sendMu sync.Mutex // serializes WriteTo (PacketConn is safe, chaos wrappers may not be)
@@ -149,6 +160,18 @@ func (ep *endpoint) readLoop() {
 			ep.mu.Unlock()
 			continue
 		}
+		// Incarnation fence, before the ack: a frame from a stale (or not
+		// yet admitted) incarnation must not be acknowledged either — the
+		// ack-before-dedup discipline below means an acked frame is settled,
+		// and a zombie's frame must never settle. REJOIN is exempt because a
+		// recovering shard does not know its next incarnation yet; ACKs are
+		// exempt because they carry no state and fencing them would wedge
+		// the zombie's retransmission (harmless) and nothing else.
+		if f.Kind != frRejoin && ep.incOf != nil && f.Inc != ep.incOf(f.Shard) {
+			ep.fenced++
+			ep.mu.Unlock()
+			continue
+		}
 		// Acknowledge before dedup: a duplicate means our previous ack was
 		// lost, and the sender needs another one to stop retransmitting.
 		ep.writeAck(l, f)
@@ -219,6 +242,7 @@ func (ep *endpoint) sendReliable(addr net.Addr, f Frame) {
 		return
 	}
 	f.Shard = ep.shard
+	f.Inc = ep.inc
 	f.Seq = l.nextSeq
 	l.nextSeq++
 	p := &pending{seq: f.Seq, wire: AppendFrame(nil, f)}
@@ -247,7 +271,7 @@ func (ep *endpoint) transmitLocked(l *link, p *pending) {
 // writeAck answers a sequenced frame; acks are fire-and-forget and carry
 // the acknowledged seq in their own seq field.
 func (ep *endpoint) writeAck(l *link, f Frame) {
-	ep.writeDatagram(l.addr, AppendFrame(nil, Frame{Kind: frAck, Shard: ep.shard, Round: f.Round, Seq: f.Seq}))
+	ep.writeDatagram(l.addr, AppendFrame(nil, Frame{Kind: frAck, Shard: ep.shard, Inc: ep.inc, Round: f.Round, Seq: f.Seq}))
 }
 
 func (ep *endpoint) writeDatagram(addr net.Addr, wire []byte) {

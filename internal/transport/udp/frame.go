@@ -25,8 +25,9 @@ import (
 )
 
 // frameVersion is the wire ABI version; bump on any layout change. The
-// golden test in frame_test.go pins the layout byte for byte.
-const frameVersion = 1
+// golden test in frame_test.go pins the layout byte for byte. v2 added the
+// incarnation field and the REJOIN/ADMIT kinds.
+const frameVersion = 2
 
 // Frame kinds. One byte on the wire.
 const (
@@ -34,10 +35,12 @@ const (
 	frAck     byte = 0x02 // any -> any: acknowledges seq (never acked itself)
 	frHello   byte = 0x10 // shard -> gateway: I am up
 	frWelcome byte = 0x11 // gateway -> shard: address book, run may start
-	frGo      byte = 0x12 // gateway -> shard: round barrier open (body: down shard ids)
+	frGo      byte = 0x12 // gateway -> shard: round barrier open (body: down shard ids + readmit records)
 	frReady   byte = 0x13 // shard -> gateway: round finished (body: halted flag)
 	frDone    byte = 0x14 // gateway -> shard: run complete, ship your fragment
 	frResult  byte = 0x15 // shard -> gateway: fragment bytes (chunked)
+	frRejoin  byte = 0x16 // shard -> gateway: recovered from checkpoint, round = resume round
+	frAdmit   byte = 0x17 // gateway -> shard: readmitted (body: new incarnation + address book + down set)
 )
 
 // maxFrameBody bounds a frame body so every frame fits comfortably in one
@@ -47,9 +50,17 @@ const maxFrameBody = 1200
 // Frame is a decoded datagram: the fixed header plus the kind-specific
 // body. Shard is the sender's shard id; the gateway sends as shard id k
 // (the shard count), which every receiver knows from its configuration.
+// Inc is the sender's incarnation: the gateway starts every shard at 1 and
+// bumps it on each readmission, and every endpoint fences frames whose
+// incarnation does not match its expectation for the sending shard — so a
+// zombie pre-crash process cannot inject state into a run its successor
+// has rejoined. A rejoining shard does not yet know its number and sends
+// REJOIN with incarnation 0; ACK and REJOIN are the only kinds exempt from
+// fencing.
 type Frame struct {
 	Kind  byte
 	Shard int
+	Inc   uint64
 	Round int
 	Seq   uint64
 	Body  []byte
@@ -64,10 +75,11 @@ var errFrame = errors.New("udp: malformed frame")
 
 // AppendFrame renders a frame header + body into buf's storage:
 //
-//	version(1) | kind(1) | shard uvarint | round uvarint | seq uvarint | body
+//	version(1) | kind(1) | shard uvarint | inc uvarint | round uvarint | seq uvarint | body
 func AppendFrame(buf []byte, f Frame) []byte {
 	buf = append(buf, frameVersion, f.Kind)
 	buf = binary.AppendUvarint(buf, uint64(f.Shard))
+	buf = binary.AppendUvarint(buf, f.Inc)
 	buf = binary.AppendUvarint(buf, uint64(f.Round))
 	buf = binary.AppendUvarint(buf, f.Seq)
 	return append(buf, f.Body...)
@@ -85,7 +97,7 @@ func DecodeFrame(p []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: version %d", errFrame, p[0])
 	}
 	switch p[1] {
-	case frData, frAck, frHello, frWelcome, frGo, frReady, frDone, frResult:
+	case frData, frAck, frHello, frWelcome, frGo, frReady, frDone, frResult, frRejoin, frAdmit:
 	default:
 		return Frame{}, fmt.Errorf("%w: kind %#x", errFrame, p[1])
 	}
@@ -94,6 +106,11 @@ func DecodeFrame(p []byte) (Frame, error) {
 	shard, n := binary.Uvarint(p)
 	if n <= 0 || shard >= frameLimit {
 		return Frame{}, fmt.Errorf("%w: shard field", errFrame)
+	}
+	p = p[n:]
+	inc, n := binary.Uvarint(p)
+	if n <= 0 || inc >= frameLimit {
+		return Frame{}, fmt.Errorf("%w: inc field", errFrame)
 	}
 	p = p[n:]
 	round, n := binary.Uvarint(p)
@@ -110,6 +127,7 @@ func DecodeFrame(p []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d-byte body", errFrame, len(p))
 	}
 	f.Shard = int(shard)
+	f.Inc = inc
 	f.Round = int(round)
 	f.Seq = seq
 	f.Body = p

@@ -7,8 +7,8 @@ import (
 )
 
 // TestFrameGoldenWire pins the datagram ABI byte for byte: version, kind,
-// shard, round, seq, body. Any layout change must break this test and bump
-// frameVersion.
+// shard, incarnation, round, seq, body. Any layout change must break this
+// test and bump frameVersion.
 func TestFrameGoldenWire(t *testing.T) {
 	cases := []struct {
 		name string
@@ -17,11 +17,12 @@ func TestFrameGoldenWire(t *testing.T) {
 	}{
 		{
 			name: "data",
-			f:    Frame{Kind: frData, Shard: 3, Round: 300, Seq: 7, Body: []byte{0xAA, 0xBB}},
+			f:    Frame{Kind: frData, Shard: 3, Inc: 1, Round: 300, Seq: 7, Body: []byte{0xAA, 0xBB}},
 			want: []byte{
-				0x01,       // version
+				0x02,       // version
 				0x01,       // kind DATA
 				0x03,       // shard 3
+				0x01,       // incarnation 1
 				0xAC, 0x02, // round 300 (uvarint)
 				0x07,       // seq 7
 				0xAA, 0xBB, // body
@@ -29,23 +30,35 @@ func TestFrameGoldenWire(t *testing.T) {
 		},
 		{
 			name: "ack",
-			f:    Frame{Kind: frAck, Shard: 0, Round: 0, Seq: 200},
-			want: []byte{0x01, 0x02, 0x00, 0x00, 0xC8, 0x01},
+			f:    Frame{Kind: frAck, Shard: 0, Inc: 1, Round: 0, Seq: 200},
+			want: []byte{0x02, 0x02, 0x00, 0x01, 0x00, 0xC8, 0x01},
 		},
 		{
 			name: "hello",
-			f:    Frame{Kind: frHello, Shard: 2, Round: 0, Seq: 0},
-			want: []byte{0x01, 0x10, 0x02, 0x00, 0x00},
+			f:    Frame{Kind: frHello, Shard: 2, Inc: 1, Round: 0, Seq: 0},
+			want: []byte{0x02, 0x10, 0x02, 0x01, 0x00, 0x00},
 		},
 		{
 			name: "go-with-down-list",
-			f:    Frame{Kind: frGo, Shard: 4, Round: 17, Seq: 9, Body: encodeDownList([]bool{false, true, false, true})},
-			want: []byte{0x01, 0x12, 0x04, 0x11, 0x09, 0x02, 0x01, 0x03},
+			f:    Frame{Kind: frGo, Shard: 4, Inc: 1, Round: 17, Seq: 9, Body: append(encodeDownList([]bool{false, true, false, true}), 0x00)},
+			want: []byte{0x02, 0x12, 0x04, 0x01, 0x11, 0x09, 0x02, 0x01, 0x03, 0x00},
 		},
 		{
 			name: "ready-halted",
-			f:    Frame{Kind: frReady, Shard: 1, Round: 64, Seq: 5, Body: []byte{1}},
-			want: []byte{0x01, 0x13, 0x01, 0x40, 0x05, 0x01},
+			f:    Frame{Kind: frReady, Shard: 1, Inc: 2, Round: 64, Seq: 5, Body: []byte{1}},
+			want: []byte{0x02, 0x13, 0x01, 0x02, 0x40, 0x05, 0x01},
+		},
+		{
+			// A rejoiner does not know its next incarnation: REJOIN always
+			// carries 0, and Round is the checkpoint's resume round.
+			name: "rejoin",
+			f:    Frame{Kind: frRejoin, Shard: 2, Inc: 0, Round: 12, Seq: 0},
+			want: []byte{0x02, 0x16, 0x02, 0x00, 0x0C, 0x00},
+		},
+		{
+			name: "admit",
+			f:    Frame{Kind: frAdmit, Shard: 4, Inc: 1, Round: 13, Seq: 3, Body: []byte{0x02}},
+			want: []byte{0x02, 0x17, 0x04, 0x01, 0x0D, 0x03, 0x02},
 		},
 	}
 	for _, c := range cases {
@@ -58,7 +71,7 @@ func TestFrameGoldenWire(t *testing.T) {
 			if err != nil {
 				t.Fatalf("golden frame does not decode: %v", err)
 			}
-			if back.Kind != c.f.Kind || back.Shard != c.f.Shard || back.Round != c.f.Round || back.Seq != c.f.Seq || !bytes.Equal(back.Body, c.f.Body) {
+			if back.Kind != c.f.Kind || back.Shard != c.f.Shard || back.Inc != c.f.Inc || back.Round != c.f.Round || back.Seq != c.f.Seq || !bytes.Equal(back.Body, c.f.Body) {
 				t.Fatalf("round trip diverged: %+v vs %+v", back, c.f)
 			}
 		})
@@ -66,15 +79,16 @@ func TestFrameGoldenWire(t *testing.T) {
 }
 
 func TestFrameDecodeFailClosed(t *testing.T) {
-	good := AppendFrame(nil, Frame{Kind: frData, Shard: 1, Round: 2, Seq: 3, Body: []byte{0xFF}})
+	good := AppendFrame(nil, Frame{Kind: frData, Shard: 1, Inc: 1, Round: 2, Seq: 3, Body: []byte{0xFF}})
 	cases := map[string][]byte{
 		"empty":            {},
-		"one byte":         {0x01},
-		"bad version":      append([]byte{0x02}, good[1:]...),
-		"bad kind":         {0x01, 0x7F, 0x01, 0x02, 0x03},
+		"one byte":         {0x02},
+		"bad version":      append([]byte{0x01}, good[1:]...),
+		"bad kind":         {0x02, 0x7F, 0x01, 0x01, 0x02, 0x03},
 		"truncated header": good[:3],
-		"oversized body":   AppendFrame(nil, Frame{Kind: frData, Shard: 1, Body: make([]byte, maxFrameBody+1)}),
-		"huge shard":       {0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x00, 0x00},
+		"oversized body":   AppendFrame(nil, Frame{Kind: frData, Shard: 1, Inc: 1, Body: make([]byte, maxFrameBody+1)}),
+		"huge shard":       {0x02, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x00, 0x00, 0x00},
+		"huge incarnation": {0x02, 0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x00, 0x00},
 	}
 	for name, p := range cases {
 		if _, err := DecodeFrame(p); err == nil {

@@ -15,7 +15,8 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{0x01})
 	f.Add(AppendFrame(nil, Frame{Kind: frData, Shard: 3, Round: 300, Seq: 7, Body: []byte{0xAA}}))
 	f.Add(AppendFrame(nil, Frame{Kind: frAck, Seq: 1 << 40}))
-	f.Add(AppendFrame(nil, Frame{Kind: frWelcome, Shard: 2, Body: encodeWelcome([]string{"127.0.0.1:1"}, []congest.Span{{Lo: 0, Hi: 4}})}))
+	f.Add(AppendFrame(nil, Frame{Kind: frWelcome, Shard: 2, Inc: 1, Body: encodeBook([]string{"127.0.0.1:1"}, []congest.Span{{Lo: 0, Hi: 4}}, []uint64{1})}))
+	f.Add(AppendFrame(nil, Frame{Kind: frRejoin, Shard: 1, Round: 12}))
 	f.Fuzz(func(t *testing.T, p []byte) {
 		fr, err := DecodeFrame(p)
 		if err != nil {
@@ -26,7 +27,7 @@ func FuzzFrameDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded frame rejected: %v", err)
 		}
-		if fr2.Kind != fr.Kind || fr2.Shard != fr.Shard || fr2.Round != fr.Round || fr2.Seq != fr.Seq || !bytes.Equal(fr2.Body, fr.Body) {
+		if fr2.Kind != fr.Kind || fr2.Shard != fr.Shard || fr2.Inc != fr.Inc || fr2.Round != fr.Round || fr2.Seq != fr.Seq || !bytes.Equal(fr2.Body, fr.Body) {
 			t.Fatalf("re-encode diverged: %+v vs %+v", fr2, fr)
 		}
 	})
