@@ -57,7 +57,7 @@ bench-engine:
 # so any reintroduced per-round allocation at scale trips the same
 # bound immediately.
 perf-smoke:
-	go run ./cmd/flbench -quick -exp E13,E16 -maxallocs 192
+	go run ./cmd/flbench -quick -exp E13,E16,E18 -maxallocs 192
 
 # Churn soak over the real UDP transport: build the fleet binaries, then
 # run flnode fleets on loopback for 15s with 10% packet loss and one

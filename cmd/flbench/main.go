@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E16) or 'all'")
+		expFlag    = fs.String("exp", "all", "experiment ids (comma separated, E1..E18) or 'all'")
 		quick      = fs.Bool("quick", false, "small sizes and few seeds (seconds instead of minutes)")
 		seed       = fs.Int64("seed", 1, "master seed for instances and protocols")
 		runs       = fs.Int("runs", 0, "protocol seeds averaged per measurement (0 = default)")

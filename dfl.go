@@ -111,6 +111,10 @@ var (
 	// WithShards sets the topology shard count of the parallel runner
 	// (byte-identical executions at every shard count; a pure perf knob).
 	WithShards = core.WithShards
+	// WithDenseEngine selects the reference O(n)-per-round scheduler
+	// instead of the default active-frontier scheduler. Byte-identical
+	// output either way; a verification and baseline knob, not a feature.
+	WithDenseEngine = core.WithDenseEngine
 	// WithBitLimit overrides the CONGEST message-size budget.
 	WithBitLimit = core.WithBitLimit
 	// WithLossyNetwork drops protocol messages with the given probability

@@ -66,8 +66,8 @@ func Scaling(p Params) ([]Table, error) {
 	t := Table{
 		ID:      "T2",
 		Title:   "Rounds and messages vs network size (K=16)",
-		Note:    "sparse uniform instances, m = nc/8, expected degree ~ m/5; rounds must not vary with n",
-		Columns: []string{"clients", "facilities", "edges", "rounds", "messages", "msgs/edge", "total bits", "max msg bits"},
+		Note:    "sparse uniform instances, m = nc/8, expected degree ~ m/5; rounds must not vary with n; live frac = mean live-node fraction per round (LiveNodeRounds/(rounds*n)), final live = live fraction when the run returned, senders/rd = nodes staging output per round",
+		Columns: []string{"clients", "facilities", "edges", "rounds", "messages", "msgs/edge", "total bits", "max msg bits", "live frac", "final live", "senders/rd"},
 	}
 	for _, nc := range ncs {
 		m := nc / 8
@@ -83,8 +83,12 @@ func Scaling(p Params) ([]Table, error) {
 			return nil, err
 		}
 		st := dm.rep.Net
+		nodes := float64(m + nc)
 		t.Add(in(nc), in(m), in(inst.EdgeCount()), in(st.Rounds), i64(st.Messages),
-			f64(float64(st.Messages)/float64(inst.EdgeCount())), i64(st.Bits), in(st.MaxMessageBits))
+			f64(float64(st.Messages)/float64(inst.EdgeCount())), i64(st.Bits), in(st.MaxMessageBits),
+			f64(float64(st.LiveNodeRounds)/(float64(st.Rounds)*nodes)),
+			f64(float64(st.FinalLive)/nodes),
+			f64(float64(st.Senders)/float64(st.Rounds)))
 	}
 	return []Table{t}, nil
 }

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dfl/internal/congest"
+)
+
+// pulseNode is the E18 workload: a thin stride of "hot" nodes broadcasts
+// every round while everyone else declares itself dormant until the halt
+// round (congest.Env.SleepUntil). Cold neighbours of hot nodes still wake
+// once per delivery — that cost is part of the O(active + delivered) model
+// the frontier scheduler promises — so the measured active fraction is the
+// hot stride plus its woken fringe. The per-node runs counter records how
+// many rounds the scheduler actually executed for this node, which is the
+// one quantity the dormancy contract lets dense and frontier disagree on.
+type pulseNode struct {
+	env    *congest.Env
+	hot    bool
+	rounds int
+	runs   int
+}
+
+func (n *pulseNode) Init(env *congest.Env) { n.env = env }
+
+func (n *pulseNode) Round(r int, inbox []congest.Message) bool {
+	n.runs++
+	if r >= n.rounds {
+		return true
+	}
+	if n.hot {
+		n.env.Broadcast([]byte{byte(r), byte(r >> 8)})
+		return false
+	}
+	n.env.SleepUntil(n.rounds)
+	return false
+}
+
+// SparseRounds regenerates Table 18 (E18): steady-state per-round cost
+// versus active fraction. For each hot stride the same frozen graph runs
+// under the frontier scheduler and under the dense reference
+// (Config.Dense), whose Stats must match exactly — the experiment doubles
+// as an I5 check at benchmark scale. Every measured quantity is the
+// R-vs-2R differential T15 introduced for allocations — (x(2R)-x(R)) /
+// (rounds(2R)-rounds(R)) on the frozen graph — applied here to wall time,
+// executed node-rounds, senders, and mallocs alike. The differential
+// cancels per-run env construction and the two full-population rounds
+// every run contains (round 0, where all n nodes declare their sleep, and
+// the halt round, where all n wake to halt), which otherwise swamp the
+// steady state: what remains is the true per-round cost, O(n) bookkeeping
+// for dense regardless of activity, O(active + delivered) for the
+// frontier.
+func SparseRounds(p Params) ([]Table, error) {
+	procs := engineProcs(p)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	n, rounds, reps := 1_000_000, 48, 3
+	if p.Quick {
+		n, rounds, reps = 100_000, 24, 1
+	}
+	g := chatterGraph(n)
+	g.Finalize()
+	pulse := make([]*pulseNode, n)
+	nodes := make([]congest.Node, n)
+	for i := range nodes {
+		pulse[i] = &pulseNode{}
+		nodes[i] = pulse[i]
+	}
+	t := Table{
+		ID:    "T18",
+		Title: "Sparse round execution: frontier vs dense scheduler",
+		Note: fmt.Sprintf("degree-8 circulant, n=%d, GOMAXPROCS=%d; every stride-th node broadcasts each round, the rest sleep until the halt round; all columns are steady-state R-vs-2R differentials on the frozen graph, cancelling env setup and the two full-population rounds; active/round = node-rounds the frontier actually executed (hot stride + delivery-woken fringe); dense and frontier Stats verified identical per row",
+			n, procs),
+		Columns: []string{"stride", "active/round", "senders/round", "dense ms/round", "frontier ms/round", "speedup", "allocs/round"},
+	}
+	// run executes one measurement on the frozen graph: node structs are
+	// reused (Init rebinds envs), so the allocation differential cancels
+	// per-run env setup exactly as in T15. Returns wall time, mallocs
+	// across the run, engine stats, and total Round invocations.
+	run := func(stride, rds int, dense bool) (time.Duration, uint64, congest.Stats, int64, error) {
+		for i, pn := range pulse {
+			pn.hot = i%stride == 0
+			pn.rounds = rds
+			pn.runs = 0
+		}
+		runtime.GC() // start every timed window from a clean GC state
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		stats, err := congest.Run(g, nodes, congest.Config{Seed: p.Seed, Dense: dense})
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		var execs int64
+		for _, pn := range pulse {
+			execs += int64(pn.runs)
+		}
+		return elapsed, after.Mallocs - before.Mallocs, stats, execs, err
+	}
+	// best re-runs one configuration and keeps the fastest wall clock (the
+	// standard robust estimator on shared hardware — see engineBest);
+	// mallocs, stats, and execution counts are deterministic per run, so
+	// the first rep's values stand for all.
+	best := func(stride, rds int, dense bool) (time.Duration, uint64, congest.Stats, int64, error) {
+		bt, bm, bst, bex, err := run(stride, rds, dense)
+		if err != nil {
+			return 0, 0, congest.Stats{}, 0, err
+		}
+		for rep := 1; rep < reps; rep++ {
+			elapsed, _, _, _, err := run(stride, rds, dense)
+			if err != nil {
+				return 0, 0, congest.Stats{}, 0, err
+			}
+			if elapsed < bt {
+				bt = elapsed
+			}
+		}
+		return bt, bm, bst, bex, nil
+	}
+	for _, stride := range []int{1, 10, 100, 1000} {
+		f1t, f1m, f1st, f1ex, err := best(stride, rounds, false)
+		if err != nil {
+			return nil, err
+		}
+		f2t, f2m, f2st, f2ex, err := best(stride, 2*rounds, false)
+		if err != nil {
+			return nil, err
+		}
+		d1t, _, d1st, _, err := best(stride, rounds, true)
+		if err != nil {
+			return nil, err
+		}
+		d2t, _, d2st, _, err := best(stride, 2*rounds, true)
+		if err != nil {
+			return nil, err
+		}
+		if d1st != f1st || d2st != f2st {
+			return nil, fmt.Errorf("bench: E18 stride %d: frontier diverged from dense reference:\nfrontier %+v / %+v\ndense    %+v / %+v", stride, f1st, f2st, d1st, d2st)
+		}
+		extra := f2st.Rounds - f1st.Rounds
+		if extra <= 0 {
+			extra = 1
+		}
+		if f2m < f1m { // GC bookkeeping jitter; clamp rather than underflow
+			f2m = f1m
+		}
+		ex := float64(extra)
+		fms := (f2t - f1t).Seconds() * 1000 / ex
+		dms := (d2t - d1t).Seconds() * 1000 / ex
+		// Floor at 1us/round: below that the R-vs-2R difference is inside
+		// clock jitter, and the floor keeps the speedup ratio honest
+		// rather than dividing by a near-zero artifact.
+		if fms < 1e-3 {
+			fms = 1e-3
+		}
+		if dms < 1e-3 {
+			dms = 1e-3
+		}
+		t.Add(in(stride),
+			f64(float64(f2ex-f1ex)/ex),
+			f64(float64(f2st.Senders-f1st.Senders)/ex),
+			f64(dms),
+			f64(fms),
+			f64(dms/fms),
+			f64(float64(f2m-f1m)/ex))
+	}
+	return []Table{t}, nil
+}

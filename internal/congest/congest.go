@@ -306,6 +306,10 @@ type Env struct {
 	// sequential and fault-delivery paths, by the owning shard's worker in
 	// the sharded merge — so the counter is a plain int under every runner.
 	rejected int64
+	// sleepUntil is the node's quiescence declaration for the rounds after
+	// this one (see SleepUntil); beginRound resets it, so the declaration
+	// expires with the Round call that made it.
+	sleepUntil int
 }
 
 // ID returns the node's id.
@@ -330,6 +334,21 @@ func (e *Env) Rand() *rand.Rand {
 	}
 	return e.rng
 }
+
+// SleepUntil declares that this node's Round calls are no-ops — no state
+// change, no sends, no Rand() draws — for every round after the current one
+// and before the given round, as long as its inbox stays empty. The
+// frontier scheduler then skips those Round calls entirely; a message
+// delivery wakes the node in time to run the round the message arrives in,
+// and the wake round itself always runs. The declaration is renewed per
+// Round call (beginRound clears it), so a node woken early must sleep
+// again explicitly, and declarations of round <= current+1 change nothing
+// (the next round runs regardless). Soundness is the node's obligation:
+// the engine's dense reference
+// mode (Config.Dense) ignores the declaration and executes every round for
+// real, and the determinism suite pins frontier runs byte-identical to it,
+// so an unsound declaration surfaces as an I5 digest divergence.
+func (e *Env) SleepUntil(round int) { e.sleepUntil = round }
 
 // Reject records that the node discarded one inbox frame as malformed.
 // Fail-closed protocol decoders call it on every frame they refuse
@@ -380,6 +399,7 @@ func (e *Env) Broadcast(payload []byte) {
 func (e *Env) beginRound() {
 	e.out = e.out[:0]
 	e.gen++
+	e.sleepUntil = 0
 	// Double-buffer swap: the payloads staged last round (e.arena) are
 	// being read by their recipients during this round, so they move to
 	// prevArena; the round before last's payloads are dead and their

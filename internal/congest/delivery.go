@@ -74,6 +74,13 @@ type delivery struct {
 	// onLinkDown receives the typed per-link report when the shim abandons
 	// a frame with its retry budget exhausted (Config.OnLinkDown).
 	onLinkDown func(LinkDownError)
+	// fr is the caller-side frontier of the sparse scheduler (nil in dense
+	// mode): commit records each recipient's first delivery of the round
+	// for the next round's inbox clears and wakes sleeping recipients.
+	// Every fault-path delivery — staged, delayed, retransmitted, forged —
+	// funnels through commit, so this one hook keeps the frontier's
+	// recipient list complete.
+	fr *frontier
 }
 
 // delayedMsg is one in-flight unit: either a plain message (payload owned
@@ -266,10 +273,16 @@ func (d *delivery) commit(msg Message, injected bool) {
 	if d.halted[msg.To] {
 		return
 	}
+	if d.fr != nil {
+		d.fr.noteRecipient(int32(msg.To), len(d.inboxes[msg.To]) == 0)
+	}
 	if injected {
 		d.inboxes[msg.To] = insertByFrom(d.inboxes[msg.To], msg)
 	} else {
 		d.inboxes[msg.To] = append(d.inboxes[msg.To], msg)
+	}
+	if d.fr != nil {
+		d.fr.wake(int32(msg.To))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 )
 
 // Config controls one engine run.
@@ -29,6 +30,17 @@ type Config struct {
 	// The two are aliases — every worker owns exactly one shard — and the
 	// split exists so callers can name the intent (`-shards` on flbench).
 	Shards int
+	// Dense selects the reference O(n) scheduler: every round scans the
+	// full population for halt detection, compute, merge, and inbox
+	// clears, and Env.SleepUntil declarations are ignored (the declared
+	// no-op rounds execute for real). The default frontier scheduler
+	// instead walks only the active node list, the round's senders, and
+	// last round's recipients, making steady-state per-round cost
+	// O(active + delivered) instead of O(n). Both schedulers produce
+	// byte-identical executions (invariant I5) — the determinism matrices
+	// pin frontier runs against this mode — so Dense exists as the pinned
+	// reference and as the baseline of the E18 sparse-rounds benchmark.
+	Dense bool
 	// Observer, when non-nil, is invoked after every round with the round
 	// number and the messages delivered in that round (sequential runner
 	// order). The slice is reused between rounds and is only valid for the
@@ -83,6 +95,11 @@ type Stats struct {
 	Forged    int64 // byzantine rewrites and injections put on the wire
 	Rejected  int64 // frames discarded as malformed, by the shim's link-layer framing check or by fail-closed protocol decoders (Env.Reject)
 	LinkDowns int64 // reliable-shim frames abandoned with the retry budget exhausted (see Config.OnLinkDown for the typed per-link reports)
+	// Activity accounting of the frontier scheduler; the dense reference
+	// mode tracks the same quantities, so I5 comparisons cover them.
+	LiveNodeRounds int64 // sum over executed rounds of the not-yet-halted node count
+	Senders        int64 // node-rounds in which a node staged at least one message
+	FinalLive      int   // nodes not yet halted when the run returned
 }
 
 // Run executes nodes on g until every node has halted, returning model-level
@@ -172,71 +189,124 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 	// per-destination-shard merge.
 	var pool *shardPool
 	if cfg.Parallel && len(nodes) > 0 {
-		pool = newShardPool(g, nodes, envs, halted, inboxes, workers, del != nil || cfg.Observer != nil)
+		pool = newShardPool(g, nodes, envs, halted, inboxes, workers, del != nil || cfg.Observer != nil, cfg.Dense)
 		defer pool.stop()
 	}
 
-	// delivered is the observer's per-round view; reused across rounds and
-	// only populated when an observer is installed.
-	var delivered []Message
-
-	// The crash/recovery schedules are maps; materialize their node ids in
-	// ascending order once (ids were range-checked by Faults.validate, so a
-	// 0..n-1 membership scan finds them all) so the per-round walks below
-	// never touch randomized map iteration order.
-	var crashIDs, recoverIDs []int
-	if len(cfg.Faults.CrashAtRound) > 0 {
-		for id := range nodes {
-			if _, ok := cfg.Faults.CrashAtRound[id]; ok {
-				crashIDs = append(crashIDs, id)
-			}
-			if _, ok := cfg.Faults.RecoverAtRound[id]; ok {
-				recoverIDs = append(recoverIDs, id)
-			}
+	// Frontier scheduler state (all nil in dense mode): the sequential
+	// runner owns one frontier over every node; the sharded runner keeps
+	// per-shard frontiers inside the pool plus a caller-side frontier that
+	// tracks recipients and routes wakes whenever the merge runs on this
+	// goroutine. liveCount is maintained in both modes — it feeds the
+	// activity stats — but only the frontier scheduler trusts it for halt
+	// detection; dense mode keeps the reference full scan.
+	liveCount := len(nodes)
+	var fr, mf *frontier
+	if !cfg.Dense {
+		if pool != nil {
+			mf = pool.callerFrontier()
+		} else {
+			fr = newFrontier(len(nodes))
+			mf = fr
 		}
 	}
+	if del != nil {
+		del.fr = mf
+	}
+
+	m := &merger{
+		stats:   &stats,
+		del:     del,
+		mf:      mf,
+		halted:  halted,
+		inboxes: inboxes,
+		observe: cfg.Observer != nil,
+	}
+
+	// The crash/recovery schedules are maps; compile them once into fire
+	// lists sorted by (round, id) and consume them with cursors, so rounds
+	// past the last scheduled event pay nothing and no per-round walk ever
+	// touches randomized map iteration order.
+	var crashFires, recoverFires []fireEvent
+	if len(cfg.Faults.CrashAtRound) > 0 {
+		crashFires = compileFires(cfg.Faults.CrashAtRound)
+		recoverFires = compileFires(cfg.Faults.RecoverAtRound)
+	}
+	var crashCur, recoverCur int
+	// mergeIDs is the reused k-way merge buffer for the sharded frontier's
+	// caller-side merges.
+	var mergeIDs []int32
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			stats.Rounds = round
+			stats.FinalLive = liveCount
 			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
 		}
-		for _, id := range crashIDs {
-			if cfg.Faults.CrashAtRound[id] == round && !halted[id] {
-				halted[id] = true
-				crashed[id] = true
-				stats.Crashed++
-				if del.shim != nil {
-					del.shim.onCrash(id)
-				}
+		for crashCur < len(crashFires) && crashFires[crashCur].at == round {
+			id := int(crashFires[crashCur].id)
+			crashCur++
+			// A node whose crash never fired (it halted voluntarily first)
+			// stays down.
+			if halted[id] {
+				continue
+			}
+			halted[id] = true
+			crashed[id] = true
+			stats.Crashed++
+			liveCount--
+			if fr != nil {
+				fr.dropCrashed(int32(id))
+			} else if pool != nil && !cfg.Dense {
+				pool.dropCrashed(int32(id))
+			}
+			if del.shim != nil {
+				del.shim.onCrash(id)
 			}
 		}
 		// Recovery rejoins a crashed node with empty protocol state: the
 		// environment (identity, neighbours, private rng) survives, the
-		// state machine restarts. A node whose crash never fired (it
-		// halted voluntarily first) stays down.
-		for _, id := range recoverIDs {
-			if cfg.Faults.RecoverAtRound[id] == round && crashed[id] {
-				crashed[id] = false
-				halted[id] = false
-				stats.Recovered++
-				nodes[id].(Recoverable).Recover()
+		// state machine restarts.
+		for recoverCur < len(recoverFires) && recoverFires[recoverCur].at == round {
+			id := int(recoverFires[recoverCur].id)
+			recoverCur++
+			if !crashed[id] {
+				continue
+			}
+			crashed[id] = false
+			halted[id] = false
+			stats.Recovered++
+			liveCount++
+			if fr != nil {
+				fr.revive(int32(id))
+			} else if pool != nil && !cfg.Dense {
+				pool.revive(int32(id))
+			}
+			nodes[id].(Recoverable).Recover()
+		}
+		allHalted := liveCount == 0
+		if cfg.Dense {
+			// Reference halt detection: the full scan the frontier
+			// scheduler's live counter replaces.
+			allHalted = true
+			for id := range nodes {
+				if !halted[id] {
+					allHalted = false
+					break
+				}
 			}
 		}
-		allHalted := true
-		for id := range nodes {
-			if !halted[id] {
-				allHalted = false
-				break
-			}
-		}
-		if allHalted && !pendingRecovery(recoverIDs, cfg.Faults.RecoverAtRound, crashed, round) {
+		if allHalted && !pendingFires(recoverFires[recoverCur:], crashed) {
 			stats.Rounds = round
+			stats.FinalLive = liveCount
 			return stats, nil
 		}
+		stats.LiveNodeRounds += int64(liveCount)
 
 		if pool != nil {
-			if pool.runRound(round) {
+			shardMerged := pool.runRound(round)
+			liveCount -= pool.drainHalts()
+			if shardMerged {
 				// The round was merged shard-locally: delivery, inbox
 				// resets, and per-message accounting all happened inside
 				// the workers; only the shard counters remain to fold.
@@ -247,13 +317,45 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 			// through to the caller-side merge below, which reproduces the
 			// sequential runner byte-for-byte (including the abort path's
 			// partial accounting — env.out was left intact).
+		} else if fr != nil {
+			// Frontier compute walk: run only the active nodes, compacting
+			// halters and sleepers out of the sorted list in place, and
+			// record the round's senders as a by-product.
+			fr.admitWoken(round)
+			fr.senders = fr.senders[:0]
+			keep := fr.active[:0]
+			for _, id := range fr.active {
+				if halted[id] {
+					continue
+				}
+				env := envs[id]
+				env.beginRound()
+				h := nodes[id].Round(round, inboxes[id])
+				if len(env.out) > 0 || env.sendErr != nil || env.rejected != 0 {
+					fr.senders = append(fr.senders, id)
+				}
+				if h {
+					halted[id] = true
+					liveCount--
+					continue
+				}
+				if env.sleepUntil > round+1 {
+					fr.park(id, env.sleepUntil)
+					continue
+				}
+				keep = append(keep, id)
+			}
+			fr.active = keep
 		} else {
 			for id, n := range nodes {
 				if halted[id] {
 					continue
 				}
 				envs[id].beginRound()
-				halted[id] = n.Round(round, inboxes[id])
+				if n.Round(round, inboxes[id]) {
+					halted[id] = true
+					liveCount--
+				}
 			}
 		}
 
@@ -264,48 +366,43 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 		// in id order, every inbox comes out sorted by sender id with no
 		// per-inbox sort — an invariant the engine tests verify.
 		// The merge reuses the inbox and delivered buffers, so steady-state
-		// rounds allocate nothing here.
-		delivered = delivered[:0]
-		for id := range inboxes {
-			inboxes[id] = inboxes[id][:0]
+		// rounds allocate nothing here. Under the frontier scheduler the
+		// walk covers only the round's sender list (k-way merged across
+		// shards in parallel runs, since shard id ranges may interleave)
+		// and the clears cover only last round's recipients.
+		m.delivered = m.delivered[:0]
+		if mf != nil {
+			mf.clearInboxes(inboxes)
+		} else {
+			for id := range inboxes {
+				inboxes[id] = inboxes[id][:0]
+			}
 		}
 		if del != nil {
 			del.beginRound(round)
 		}
-		for id := range nodes {
-			env := envs[id]
-			if env.sendErr != nil {
-				stats.Rounds = round + 1
-				return stats, env.sendErr
+		if mf != nil {
+			var ids []int32
+			if pool != nil {
+				mergeIDs = pool.mergedSenders(mergeIDs[:0])
+				ids = mergeIDs
+			} else {
+				ids = fr.senders
 			}
-			for _, msg := range env.out {
-				stats.Messages++
-				stats.Bits += int64(msg.Bits())
-				if msg.Bits() > stats.MaxMessageBits {
-					stats.MaxMessageBits = msg.Bits()
-				}
-				if del != nil {
-					del.transmit(round, msg)
-					continue
-				}
-				if cfg.Observer != nil {
-					delivered = append(delivered, msg)
-				}
-				// Messages to halted nodes are delivered to nobody but
-				// still counted (and still observed).
-				if !halted[msg.To] {
-					inboxes[msg.To] = append(inboxes[msg.To], msg)
+			for _, id := range ids {
+				if err := m.drain(round, envs[id]); err != nil {
+					stats.Rounds = round + 1
+					stats.FinalLive = liveCount
+					return stats, err
 				}
 			}
-			// A node that halts this round may have sent final messages;
-			// drain them so they are not re-counted on later rounds.
-			env.out = env.out[:0]
-			// Drain the node's fail-closed reject counter into Stats on the
-			// caller goroutine (the Round call that incremented it finished
-			// at the round barrier, so this is race-free in both runners).
-			if env.rejected != 0 {
-				stats.Rejected += env.rejected
-				env.rejected = 0
+		} else {
+			for id := range nodes {
+				if err := m.drain(round, envs[id]); err != nil {
+					stats.Rounds = round + 1
+					stats.FinalLive = liveCount
+					return stats, err
+				}
 			}
 		}
 		if del != nil {
@@ -315,16 +412,105 @@ func Run(g *Graph, nodes []Node, cfg Config) (Stats, error) {
 				cfg.Observer(round, del.delivered)
 			}
 		} else if cfg.Observer != nil {
-			cfg.Observer(round, delivered)
+			cfg.Observer(round, m.delivered)
 		}
 	}
 }
 
-// pendingRecovery keeps the run alive while a currently-crashed node has a
-// recovery still ahead of it, even if every live node has halted.
-func pendingRecovery(recoverIDs []int, recoverAt map[int]int, crashed []bool, round int) bool {
-	for _, id := range recoverIDs {
-		if recoverAt[id] > round && crashed[id] {
+// merger drains one sender's staged state on the caller goroutine: message
+// accounting, fault-pipeline handoff or plain delivery, and the env's
+// out/rejected resets. It is the shared body of the dense full-population
+// walk and the frontier sender-list walk, so the two cannot drift.
+type merger struct {
+	stats     *Stats
+	del       *delivery
+	mf        *frontier // frontier bookkeeping (recipients, wakes); nil in dense mode
+	halted    []bool
+	inboxes   [][]Message
+	observe   bool
+	delivered []Message // observer's per-round view, reused across rounds
+}
+
+// drain processes one node's staged output for the round, returning the
+// node's recorded send violation, if any, before touching its messages.
+func (m *merger) drain(round int, env *Env) error {
+	if env.sendErr != nil {
+		return env.sendErr
+	}
+	if len(env.out) > 0 {
+		m.stats.Senders++
+	}
+	for _, msg := range env.out {
+		m.stats.Messages++
+		m.stats.Bits += int64(msg.Bits())
+		if msg.Bits() > m.stats.MaxMessageBits {
+			m.stats.MaxMessageBits = msg.Bits()
+		}
+		if m.del != nil {
+			m.del.transmit(round, msg)
+			continue
+		}
+		if m.observe {
+			m.delivered = append(m.delivered, msg)
+		}
+		// Messages to halted nodes are delivered to nobody but still
+		// counted (and still observed).
+		if !m.halted[msg.To] {
+			if m.mf != nil {
+				m.mf.noteRecipient(int32(msg.To), len(m.inboxes[msg.To]) == 0)
+			}
+			m.inboxes[msg.To] = append(m.inboxes[msg.To], msg)
+			if m.mf != nil {
+				m.mf.wake(int32(msg.To))
+			}
+		}
+	}
+	// A node that halts this round may have sent final messages; drain them
+	// so they are not re-counted on later rounds.
+	env.out = env.out[:0]
+	// Drain the node's fail-closed reject counter into Stats on the caller
+	// goroutine (the Round call that incremented it finished at the round
+	// barrier, so this is race-free in both runners).
+	if env.rejected != 0 {
+		m.stats.Rejected += env.rejected
+		env.rejected = 0
+	}
+	return nil
+}
+
+// fireEvent is one precompiled fault-schedule entry: the crash or recovery
+// of node id at the start of round at.
+type fireEvent struct {
+	at int
+	id int32
+}
+
+// compileFires flattens a node->round schedule map into a fire list sorted
+// by (round, id) — the order the engine's per-round walk applied — consumed
+// by a cursor so schedule-free rounds cost nothing.
+func compileFires(sched map[int]int) []fireEvent {
+	if len(sched) == 0 {
+		return nil
+	}
+	fires := make([]fireEvent, 0, len(sched))
+	for id, at := range sched { //flvet:ordered sorted by (round, id) immediately below
+		fires = append(fires, fireEvent{at: at, id: int32(id)})
+	}
+	sort.Slice(fires, func(i, j int) bool {
+		if fires[i].at != fires[j].at {
+			return fires[i].at < fires[j].at
+		}
+		return fires[i].id < fires[j].id
+	})
+	return fires
+}
+
+// pendingFires keeps the run alive while a currently-crashed node has a
+// recovery still ahead of it (every unconsumed fire is strictly in the
+// future), even if every live node has halted.
+func pendingFires(remaining []fireEvent, crashed []bool) bool {
+	for _, f := range remaining {
+		if crashed[f.id] {
 			return true
 		}
 	}

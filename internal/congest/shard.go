@@ -46,6 +46,17 @@ type shardPool struct {
 	shardOf []int // node id -> owning shard
 	shards  []*shardState
 
+	// asleep is the run-wide sleep array shared by every shard's frontier
+	// (nil in dense mode). Entries are touched only by the owning shard's
+	// worker during a round or by the caller between rounds, so sharing
+	// the array races nothing. timerAt is shared the same way (each entry
+	// only ever read or written by the owning shard's frontier).
+	asleep  []bool
+	timerAt []int
+	// mergeHeads holds the per-shard cursors of mergedSenders, reused
+	// across rounds.
+	mergeHeads []int
+
 	round int
 	start chan struct{}
 	mid   sync.WaitGroup // the one in-round barrier: staging -> ingest
@@ -71,11 +82,18 @@ type shardState struct {
 	// sequential merge so the abort (partial accounting included) is
 	// byte-identical to the sequential runner's.
 	errID int
+	// fr is this shard's active-frontier bookkeeping (nil in dense mode):
+	// its own active/woken/timer/sender/recipient lists over the shard's
+	// members, sharing the pool-wide asleep array.
+	fr *frontier
+	// haltedNow counts the members that halted during this round's compute
+	// walk; the caller drains it into the run's live counter (drainHalts).
+	haltedNow int
 }
 
 // newShardPool partitions the graph and starts one worker per shard. The
 // shared slices are the engine's own; the pool never reallocates them.
-func newShardPool(g *Graph, nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, shards int, serialMerge bool) *shardPool {
+func newShardPool(g *Graph, nodes []Node, envs []*Env, halted []bool, inboxes [][]Message, shards int, serialMerge, dense bool) *shardPool {
 	parts := partitionShards(g, shards)
 	k := len(parts)
 	p := &shardPool{
@@ -86,15 +104,27 @@ func newShardPool(g *Graph, nodes []Node, envs []*Env, halted []bool, inboxes []
 		serialMerge: serialMerge,
 		shardOf:     make([]int, len(nodes)),
 		shards:      make([]*shardState, k),
+		mergeHeads:  make([]int, k),
 		start:       make(chan struct{}),
 	}
+	if !dense {
+		p.asleep = make([]bool, len(nodes))
+		p.timerAt = make([]int, len(nodes))
+	}
 	for s, members := range parts {
-		p.shards[s] = &shardState{
+		st := &shardState{
 			members: members,
 			outbox:  make([][]Message, k),
 			heads:   make([]int, k),
 			errID:   -1,
 		}
+		if !dense {
+			st.fr = &frontier{asleep: p.asleep, timerAt: p.timerAt, active: make([]int32, len(members))}
+			for i, id := range members {
+				st.fr.active[i] = int32(id)
+			}
+		}
+		p.shards[s] = st
 		for _, id := range members {
 			p.shardOf[id] = s
 		}
@@ -103,6 +133,71 @@ func newShardPool(g *Graph, nodes []Node, envs []*Env, halted []bool, inboxes []
 		go p.worker(w)
 	}
 	return p
+}
+
+// callerFrontier returns the merge-side frontier for runs whose delivery
+// happens on the caller goroutine: it owns the recipient list driving the
+// next round's inbox clears, shares the pool-wide asleep array, and routes
+// message wakes into the owning shard's woken list.
+func (p *shardPool) callerFrontier() *frontier {
+	return &frontier{asleep: p.asleep, onWake: p.wakeMember}
+}
+
+// wakeMember stages a caller-side wake in the owning shard's frontier; the
+// caller frontier's wake already cleared the asleep flag.
+func (p *shardPool) wakeMember(id int32) {
+	s := p.shards[p.shardOf[id]]
+	s.fr.woken = append(s.fr.woken, id)
+}
+
+// dropCrashed removes a crashing node from its shard's frontier (called by
+// the engine between rounds, while the workers are parked).
+func (p *shardPool) dropCrashed(id int32) {
+	p.shards[p.shardOf[id]].fr.dropCrashed(id)
+}
+
+// revive stages a recovering node for re-admission in its shard's frontier
+// (called by the engine between rounds, while the workers are parked).
+func (p *shardPool) revive(id int32) {
+	p.shards[p.shardOf[id]].fr.revive(id)
+}
+
+// drainHalts folds and resets the per-shard count of members that halted
+// during the last compute phase, for the engine's live-node counter.
+func (p *shardPool) drainHalts() int {
+	total := 0
+	for _, s := range p.shards {
+		total += s.haltedNow
+		s.haltedNow = 0
+	}
+	return total
+}
+
+// mergedSenders k-way merges the per-shard ascending sender lists into one
+// globally ascending id list for the caller-side merge. Shards own
+// disjoint, but not necessarily contiguous, id ranges, so concatenation
+// would not preserve global sender order — the same smallest-head merge as
+// ingest does.
+func (p *shardPool) mergedSenders(buf []int32) []int32 {
+	for i := range p.mergeHeads {
+		p.mergeHeads[i] = 0
+	}
+	for {
+		best := -1
+		var bestID int32
+		for s := range p.shards {
+			sd := p.shards[s].fr.senders
+			if h := p.mergeHeads[s]; h < len(sd) && (best < 0 || sd[h] < bestID) {
+				best = s
+				bestID = sd[h]
+			}
+		}
+		if best < 0 {
+			return buf
+		}
+		p.mergeHeads[best]++
+		buf = append(buf, bestID)
+	}
 }
 
 // runRound executes one round across the shards and blocks until it is
@@ -143,6 +238,7 @@ func (p *shardPool) collect(st *Stats) {
 			st.MaxMessageBits = s.stats.MaxMessageBits
 		}
 		st.Rejected += s.stats.Rejected
+		st.Senders += s.stats.Senders
 		s.stats = Stats{}
 	}
 }
@@ -160,31 +256,87 @@ func (p *shardPool) worker(w int) {
 	s := p.shards[w]
 	for range p.start { // one token per round; exits when stop closes the channel
 		// Compute-and-stage phase: run this shard's nodes, then bucket
-		// their staged messages by destination shard.
-		for _, id := range s.members {
-			if p.halted[id] {
-				continue
+		// their staged messages by destination shard. The frontier walk
+		// runs only the shard's active members, compacting halters and
+		// sleepers out in place and recording the round's senders; the
+		// dense walk is the reference full-member scan.
+		fr := s.fr
+		if fr != nil {
+			fr.admitWoken(p.round)
+			fr.senders = fr.senders[:0]
+			keep := fr.active[:0]
+			for _, id := range fr.active {
+				if p.halted[id] {
+					continue
+				}
+				env := p.envs[id]
+				env.beginRound()
+				h := p.nodes[id].Round(p.round, p.inboxes[id])
+				if len(env.out) > 0 || env.sendErr != nil || env.rejected != 0 {
+					fr.senders = append(fr.senders, id)
+				}
+				if h {
+					p.halted[id] = true
+					s.haltedNow++
+					continue
+				}
+				if env.sleepUntil > p.round+1 {
+					fr.park(id, env.sleepUntil)
+					continue
+				}
+				keep = append(keep, id)
 			}
-			p.envs[id].beginRound()
-			p.halted[id] = p.nodes[id].Round(p.round, p.inboxes[id])
+			fr.active = keep
+		} else {
+			for _, id := range s.members {
+				if p.halted[id] {
+					continue
+				}
+				p.envs[id].beginRound()
+				if p.nodes[id].Round(p.round, p.inboxes[id]) {
+					p.halted[id] = true
+					s.haltedNow++
+				}
+			}
 		}
 		if !p.serialMerge {
 			s.errID = -1
 			for d := range s.outbox {
 				s.outbox[d] = s.outbox[d][:0]
 			}
-			for _, id := range s.members {
-				env := p.envs[id]
-				if env.sendErr != nil {
-					// Stop staging and leave every env.out intact: the
-					// caller's sequential merge reproduces the abort, with
-					// the same partial accounting as the sequential runner.
-					s.errID = id
-					break
+			if fr != nil {
+				for _, id := range fr.senders {
+					env := p.envs[id]
+					if env.sendErr != nil {
+						// Stop staging and leave every env.out intact: the
+						// caller's sequential merge reproduces the abort,
+						// with the same partial accounting as the
+						// sequential runner.
+						s.errID = int(id)
+						break
+					}
+					if len(env.out) > 0 {
+						s.stats.Senders++
+					}
+					for _, msg := range env.out {
+						dst := p.shardOf[msg.To]
+						s.outbox[dst] = append(s.outbox[dst], msg)
+					}
 				}
-				for _, msg := range env.out {
-					dst := p.shardOf[msg.To]
-					s.outbox[dst] = append(s.outbox[dst], msg)
+			} else {
+				for _, id := range s.members {
+					env := p.envs[id]
+					if env.sendErr != nil {
+						s.errID = id
+						break
+					}
+					if len(env.out) > 0 {
+						s.stats.Senders++
+					}
+					for _, msg := range env.out {
+						dst := p.shardOf[msg.To]
+						s.outbox[dst] = append(s.outbox[dst], msg)
+					}
 				}
 			}
 		}
@@ -216,8 +368,14 @@ func (p *shardPool) anyErr() bool {
 //
 //flvet:merge reads every shard's outbox stream after the mid barrier published it; writes only shard-w-owned inboxes and counters
 func (p *shardPool) ingest(s *shardState, w int) {
-	for _, id := range s.members {
-		p.inboxes[id] = p.inboxes[id][:0]
+	fr := s.fr
+	if fr != nil {
+		// Frontier clears: only the member inboxes filled last round.
+		fr.clearInboxes(p.inboxes)
+	} else {
+		for _, id := range s.members {
+			p.inboxes[id] = p.inboxes[id][:0]
+		}
 	}
 	for i := range s.heads {
 		s.heads[i] = 0
@@ -250,17 +408,38 @@ func (p *shardPool) ingest(s *shardState, w int) {
 		// Messages to halted nodes are delivered to nobody but still
 		// counted, exactly as in the sequential merge.
 		if !p.halted[msg.To] {
+			if fr != nil {
+				fr.noteRecipient(int32(msg.To), len(p.inboxes[msg.To]) == 0)
+			}
 			p.inboxes[msg.To] = append(p.inboxes[msg.To], msg)
+			if fr != nil {
+				// A delivery to a sleeping member wakes it for next round;
+				// recipients of outbox[w] are this shard's own members, so
+				// the wake stays shard-local.
+				fr.wake(int32(msg.To))
+			}
 		}
 	}
 	// Drain the shard's own env state: staged sends were consumed above,
-	// and fail-closed reject counts fold into the shard counters.
-	for _, id := range s.members {
-		env := p.envs[id]
-		env.out = env.out[:0]
-		if env.rejected != 0 {
-			s.stats.Rejected += env.rejected
-			env.rejected = 0
+	// and fail-closed reject counts fold into the shard counters. Under
+	// the frontier only the round's senders have anything to drain.
+	if fr != nil {
+		for _, id := range fr.senders {
+			env := p.envs[id]
+			env.out = env.out[:0]
+			if env.rejected != 0 {
+				s.stats.Rejected += env.rejected
+				env.rejected = 0
+			}
+		}
+	} else {
+		for _, id := range s.members {
+			env := p.envs[id]
+			env.out = env.out[:0]
+			if env.rejected != 0 {
+				s.stats.Rejected += env.rejected
+				env.rejected = 0
+			}
 		}
 	}
 }

@@ -177,88 +177,188 @@ func RunShard(g *Graph, nodes []Node, span Span, cfg Config, tr Transport) (Stat
 		nodes[id].Init(envs[id])
 	}
 
+	// Frontier scheduler state over the span (nil in dense mode), the
+	// transport-runner analogue of Run's: a sleeping node stays live — the
+	// shard keeps reporting allHalted=false for it — but costs nothing
+	// until a timer or an arrival (local or remote) wakes it. asleep is
+	// indexed by global node id; only span entries are ever touched.
+	var fr *frontier
+	spanLive := span.Len()
+	if !cfg.Dense {
+		fr = &frontier{asleep: make([]bool, g.N()), timerAt: make([]int, g.N()), active: make([]int32, 0, span.Len())}
+		for id := span.Lo; id < span.Hi; id++ {
+			fr.active = append(fr.active, int32(id))
+		}
+	}
+	// remoteMark/remoteIDs track which inboxes took remote arrivals this
+	// round, so the frontier path re-sorts only those instead of the span.
+	var remoteMark []bool
+	var remoteIDs []int32
+	if fr != nil {
+		remoteMark = make([]bool, g.N())
+	}
+
 	var stats Stats
 	var out []Message
+	drain := func(env *Env) error {
+		if env.sendErr != nil {
+			return env.sendErr
+		}
+		if len(env.out) > 0 {
+			stats.Senders++
+		}
+		for _, msg := range env.out {
+			stats.Messages++
+			stats.Bits += int64(msg.Bits())
+			if msg.Bits() > stats.MaxMessageBits {
+				stats.MaxMessageBits = msg.Bits()
+			}
+			if span.Contains(msg.To) {
+				// Messages to halted nodes are delivered to nobody but
+				// still counted, as in Run.
+				if !halted[msg.To] {
+					if fr != nil {
+						fr.noteRecipient(int32(msg.To), len(inboxes[msg.To]) == 0)
+					}
+					inboxes[msg.To] = append(inboxes[msg.To], msg)
+					if fr != nil {
+						fr.wake(int32(msg.To))
+					}
+				}
+			} else {
+				out = append(out, msg)
+			}
+		}
+		env.out = env.out[:0]
+		if env.rejected != 0 {
+			stats.Rejected += env.rejected
+			env.rejected = 0
+		}
+		return nil
+	}
 	for round := 0; ; round++ {
 		start, err := tr.Begin(round)
 		if err != nil {
 			stats.Rounds = round
+			stats.FinalLive = spanLive
 			return stats, fmt.Errorf("congest: begin round %d: %w", round, err)
 		}
 		if start.Done {
 			stats.Rounds = round
+			stats.FinalLive = spanLive
 			return stats, nil
 		}
 		if round >= maxRounds {
 			stats.Rounds = round
+			stats.FinalLive = spanLive
 			return stats, fmt.Errorf("%w (budget %d)", ErrRoundLimit, maxRounds)
 		}
+		stats.LiveNodeRounds += int64(spanLive)
 
-		allHalted := true
-		for id := span.Lo; id < span.Hi; id++ {
-			if halted[id] {
-				continue
+		var allHalted bool
+		if fr != nil {
+			fr.admitWoken(round)
+			fr.senders = fr.senders[:0]
+			keep := fr.active[:0]
+			for _, id := range fr.active {
+				if halted[id] {
+					continue
+				}
+				env := envs[id]
+				env.beginRound()
+				h := nodes[id].Round(round, inboxes[id])
+				if len(env.out) > 0 || env.sendErr != nil || env.rejected != 0 {
+					fr.senders = append(fr.senders, id)
+				}
+				if h {
+					halted[id] = true
+					spanLive--
+					continue
+				}
+				if env.sleepUntil > round+1 {
+					fr.park(id, env.sleepUntil)
+					continue
+				}
+				keep = append(keep, id)
 			}
-			envs[id].beginRound()
-			halted[id] = nodes[id].Round(round, inboxes[id])
-			if !halted[id] {
-				allHalted = false
+			fr.active = keep
+			allHalted = spanLive == 0
+		} else {
+			allHalted = true
+			for id := span.Lo; id < span.Hi; id++ {
+				if halted[id] {
+					continue
+				}
+				envs[id].beginRound()
+				if nodes[id].Round(round, inboxes[id]) {
+					halted[id] = true
+					spanLive--
+				} else {
+					allHalted = false
+				}
 			}
 		}
 
 		// Merge phase: walk local senders in ascending id order (so local
 		// deliveries land born-sorted, as in Run), account every staged
 		// message, and split deliveries into local inbox appends and the
-		// remote batch the transport ships.
-		for id := span.Lo; id < span.Hi; id++ {
-			inboxes[id] = inboxes[id][:0]
+		// remote batch the transport ships. The frontier walk covers only
+		// the round's sender list and clears only last round's recipients.
+		if fr != nil {
+			fr.clearInboxes(inboxes)
+		} else {
+			for id := span.Lo; id < span.Hi; id++ {
+				inboxes[id] = inboxes[id][:0]
+			}
 		}
 		out = out[:0]
-		for id := span.Lo; id < span.Hi; id++ {
-			env := envs[id]
-			if env.sendErr != nil {
-				stats.Rounds = round + 1
-				return stats, env.sendErr
-			}
-			for _, msg := range env.out {
-				stats.Messages++
-				stats.Bits += int64(msg.Bits())
-				if msg.Bits() > stats.MaxMessageBits {
-					stats.MaxMessageBits = msg.Bits()
-				}
-				if span.Contains(msg.To) {
-					// Messages to halted nodes are delivered to nobody but
-					// still counted, as in Run.
-					if !halted[msg.To] {
-						inboxes[msg.To] = append(inboxes[msg.To], msg)
-					}
-				} else {
-					out = append(out, msg)
+		if fr != nil {
+			for _, id := range fr.senders {
+				if err := drain(envs[id]); err != nil {
+					stats.Rounds = round + 1
+					stats.FinalLive = spanLive
+					return stats, err
 				}
 			}
-			env.out = env.out[:0]
-			if env.rejected != 0 {
-				stats.Rejected += env.rejected
-				env.rejected = 0
+		} else {
+			for id := span.Lo; id < span.Hi; id++ {
+				if err := drain(envs[id]); err != nil {
+					stats.Rounds = round + 1
+					stats.FinalLive = spanLive
+					return stats, err
+				}
 			}
 		}
 		if err := tr.Send(round, out); err != nil {
 			stats.Rounds = round + 1
+			stats.FinalLive = spanLive
 			return stats, fmt.Errorf("congest: send round %d: %w", round, err)
 		}
 		in, err := tr.Gather(round, allHalted)
 		if err != nil {
 			stats.Rounds = round + 1
+			stats.FinalLive = spanLive
 			return stats, fmt.Errorf("congest: gather round %d: %w", round, err)
 		}
 		remote := false
 		for _, msg := range in {
 			if !span.Contains(msg.To) {
 				stats.Rounds = round + 1
+				stats.FinalLive = spanLive
 				return stats, fmt.Errorf("congest: transport delivered message for remote node %d to shard [%d,%d)", msg.To, span.Lo, span.Hi)
 			}
 			if !halted[msg.To] {
+				if fr != nil {
+					fr.noteRecipient(int32(msg.To), len(inboxes[msg.To]) == 0)
+					if !remoteMark[msg.To] {
+						remoteMark[msg.To] = true
+						remoteIDs = append(remoteIDs, int32(msg.To))
+					}
+				}
 				inboxes[msg.To] = append(inboxes[msg.To], msg)
+				if fr != nil {
+					fr.wake(int32(msg.To))
+				}
 				remote = true
 			}
 		}
@@ -268,10 +368,21 @@ func RunShard(g *Graph, nodes []Node, span Span, cfg Config, tr Transport) (Stat
 			// born-sorted inbox invariant per receiving node. The sort is
 			// deterministic: a sender stages at most one message per
 			// recipient per round, so sender ids within an inbox are unique.
-			for id := span.Lo; id < span.Hi; id++ {
-				box := inboxes[id]
-				if len(box) > 1 {
-					sort.Slice(box, func(a, b int) bool { return box[a].From < box[b].From })
+			if fr != nil {
+				for _, id := range remoteIDs {
+					box := inboxes[id]
+					if len(box) > 1 {
+						sort.Slice(box, func(a, b int) bool { return box[a].From < box[b].From })
+					}
+					remoteMark[id] = false
+				}
+				remoteIDs = remoteIDs[:0]
+			} else {
+				for id := span.Lo; id < span.Hi; id++ {
+					box := inboxes[id]
+					if len(box) > 1 {
+						sort.Slice(box, func(a, b int) bool { return box[a].From < box[b].From })
+					}
 				}
 			}
 		}

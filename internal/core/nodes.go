@@ -240,10 +240,47 @@ func (f *facilityNode) Round(r int, inbox []congest.Message) bool {
 	case 1:
 		f.processDone(inbox)
 		f.makeOffer(r)
+		f.declareOfferSleep(r)
 	case 3:
 		f.processGrants(r, inbox)
+		// Next action round is the following makeOffer; the DONE-collection
+		// round in between only matters when DONEs actually arrive, and an
+		// arrival wakes us.
+		f.env.SleepUntil(r + 2)
 	}
 	return false
+}
+
+// declareOfferSleep tells the engine how long the facility's rounds are
+// provably no-ops after an offer decision (see congest.Env.SleepUntil; the
+// dense reference scheduler ignores it, which is what pins the declarations
+// as sound). The rules mirror makeOffer's early returns: having offered, the
+// only upcoming work is the GRANT round at r+2. Having not offered, nothing
+// happens on an empty inbox until the first offer round of the phase whose
+// threshold admits the cached star — phases advance with the round number
+// alone, and every input of the star cache can change only via a message,
+// which wakes us. A star above every threshold (bestClass < 0) or an empty
+// active set can become eligible only through a message too, so those sleep
+// to the cleanup tail. The tail bound is P+3, the beacon broadcast every
+// facility owes; the FORCE-answer round P+1 is message-driven and a FORCE
+// wakes us for it.
+//
+// Soundness of the RNG stream: makeOffer draws a priority only after its
+// early returns, each node owns a private stream, and the declaration
+// covers exactly rounds where makeOffer would early-return (phaseOf is
+// monotone in r), so skipped rounds draw nothing in the dense run either.
+func (f *facilityNode) declareOfferSleep(r int) {
+	if len(f.offeredPos) > 0 {
+		f.env.SleepUntil(r + 2)
+		return
+	}
+	wake := f.d.ProtoRounds + 3
+	if f.bestLen > 0 && f.bestClass > f.phaseOf(r) {
+		if at := 4*f.bestClass*f.d.ItersPerPhase + 1; at < wake {
+			wake = at
+		}
+	}
+	f.env.SleepUntil(wake)
 }
 
 func (f *facilityNode) processDone(inbox []congest.Message) {
@@ -425,8 +462,13 @@ func (f *facilityNode) connect(nodes []int32) {
 // settle repair joins and forces at P+5, then halt.
 func (f *facilityNode) cleanupRound(r int, inbox []congest.Message) bool {
 	switch rr := r - f.d.ProtoRounds; {
-	case rr == 1:
-		f.connectForced(inbox, kindForce, &f.openedInCleanup)
+	case rr < 3:
+		if rr == 1 {
+			f.connectForced(inbox, kindForce, &f.openedInCleanup)
+		}
+		// Until the beacon round the facility only answers FORCEs, and a
+		// FORCE wakes it; the beacon broadcast at P+3 is unconditional.
+		f.env.SleepUntil(f.d.ProtoRounds + 3)
 	case rr == 3:
 		// Proof of life plus open status: clients decide the repair pass
 		// entirely from these beacons, so a crashed facility (no beacon)
@@ -435,6 +477,10 @@ func (f *facilityNode) cleanupRound(r int, inbox []congest.Message) bool {
 		b := encodeBeacon(f.buf, f.open)
 		f.buf = b
 		f.env.Broadcast(b)
+		// The repair settle at P+5 must run (it commits done and halts).
+		f.env.SleepUntil(f.d.ProtoRounds + 5)
+	case rr == 4:
+		f.env.SleepUntil(f.d.ProtoRounds + 5)
 	case rr >= 5:
 		// rr > 5 only happens to a facility recovered after the repair
 		// settle: it halts immediately, without done, so the masking pass
@@ -582,16 +628,25 @@ func (c *clientNode) Round(r int, inbox []congest.Message) bool {
 		if c.assigned == fl.Unassigned {
 			c.sendForce()
 		}
+		// Between here and the repair decision at P+4 the client only
+		// absorbs CONNECTs, and a CONNECT wakes it (see Env.SleepUntil;
+		// empty-inbox cleanup rounds are no-ops for an assigned and
+		// unassigned client alike).
+		c.env.SleepUntil(c.d.ProtoRounds + 4)
 		return false
 	case r == c.d.ProtoRounds+1:
+		c.env.SleepUntil(c.d.ProtoRounds + 4)
 		return false // facilities answer FORCE this round
 	case r == c.d.ProtoRounds+2:
 		c.processConnect(inbox, true)
+		c.env.SleepUntil(c.d.ProtoRounds + 4)
 		return false // stay for the repair pass
 	case r == c.d.ProtoRounds+3:
 		return false // facilities broadcast repair beacons this round
 	case r == c.d.ProtoRounds+4:
 		c.repairRound(inbox)
+		// The halt round at P+6 must run; P+5 is the facilities' turn.
+		c.env.SleepUntil(c.d.ProtoRounds + 6)
 		return false
 	case r == c.d.ProtoRounds+5:
 		return false // the forced facility answers this round
@@ -613,10 +668,29 @@ func (c *clientNode) Round(r int, inbox []congest.Message) bool {
 		if c.assigned != fl.Unassigned && !c.announced {
 			c.announceDone()
 		}
+		c.declareClientSleep(r)
 	case 2:
 		c.pickOffer(inbox)
+		c.declareClientSleep(r)
 	}
 	return false
+}
+
+// declareClientSleep covers the client's provable no-op rounds during the
+// phase sweep (see congest.Env.SleepUntil). A connected, announced client is
+// done until the repair decision at P+4: processConnect and pickOffer both
+// early-return once assigned, the cleanup fallback rounds skip assigned
+// clients, and any message (a spurious OFFER from a facility that missed our
+// DONE, forged traffic) wakes it for a round that changes nothing. An
+// unconnected client acts every other round — the round in between belongs
+// to the facilities — so it skips just that one. Clients draw no randomness
+// anywhere, so the declarations cannot touch an RNG stream.
+func (c *clientNode) declareClientSleep(r int) {
+	if c.assigned != fl.Unassigned && c.announced {
+		c.env.SleepUntil(c.d.ProtoRounds + 4)
+		return
+	}
+	c.env.SleepUntil(r + 2)
 }
 
 func (c *clientNode) processConnect(inbox []congest.Message, cleanup bool) {

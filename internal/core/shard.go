@@ -309,6 +309,13 @@ func Assemble(inst *fl.Instance, cfg Config, frags []*Fragment) (*fl.Solution, *
 		rep.Net.Messages += frag.Stats.Messages
 		rep.Net.Bits += frag.Stats.Bits
 		rep.Net.Rejected += frag.Stats.Rejected
+		// Frontier activity stats sum across spans: every shard executes the
+		// same global rounds, so per-span live counts add up to the
+		// in-process totals. Fragments that crossed the wire carry zeros
+		// here (the codec predates the fields), which the sums absorb.
+		rep.Net.LiveNodeRounds += frag.Stats.LiveNodeRounds
+		rep.Net.Senders += frag.Stats.Senders
+		rep.Net.FinalLive += frag.Stats.FinalLive
 		if frag.Stats.Rounds > rep.Net.Rounds {
 			rep.Net.Rounds = frag.Stats.Rounds
 		}

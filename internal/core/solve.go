@@ -85,7 +85,8 @@ type options struct {
 	byzantine   map[int]int // node id -> byzantine-from round
 	quarantine  *bool       // nil: auto (armed when corruption/byzantine present)
 	faults      congest.Faults
-	retryBudget int // reliable-delivery shim budget; 0 = shim off
+	retryBudget int  // reliable-delivery shim budget; 0 = shim off
+	dense       bool // reference O(n)-per-round scheduler (congest.Config.Dense)
 }
 
 // Option configures Solve.
@@ -183,6 +184,16 @@ func WithByzantine(fromRound int, nodeIDs ...int) Option {
 			o.byzantine[id] = fromRound
 		}
 	}
+}
+
+// WithDenseEngine runs the simulator's dense reference scheduler, which
+// walks the full node population every round and ignores the nodes'
+// SleepUntil declarations (see congest.Config.Dense). Executions are
+// byte-identical to the default frontier scheduler — that equality is
+// exactly what pins the protocol's dormancy declarations as sound — so this
+// is a verification and baseline-measurement knob, not a behavioral one.
+func WithDenseEngine(dense bool) Option {
+	return func(o *options) { o.dense = dense }
 }
 
 // WithQuarantine forces the sender-quarantine layer on or off, overriding
@@ -426,6 +437,7 @@ func runProtocol(inst *fl.Instance, cfg Config, opts []Option) ([]*facilityNode,
 		Observer:  o.observer,
 		Faults:    faults,
 		Reliable:  congest.Reliable{RetryBudget: o.retryBudget},
+		Dense:     o.dense,
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: protocol execution: %w", err)
